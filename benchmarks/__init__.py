@@ -1,0 +1,1 @@
+"""Figure-reproduction benchmarks (pytest-benchmark targets)."""

@@ -1,0 +1,91 @@
+"""Ablation: HBC's cost-model bucket count vs. fixed fan-outs.
+
+DESIGN.md E-abl1.  The paper's core cost-model claim ([21], Section 4.1) is
+that a binary search (b = 2) is suboptimal and that the Lambert-W optimum
+minimizes the hotspot's refinement bits.  The model prices a *dense*
+histogram (``b`` counts per message), so the headline sweep disables the
+empty-bucket compression; a compressed sweep is printed alongside to show
+how compression shifts the effective optimum towards larger ``b`` (with
+few values per interval, big histograms become almost free on air).
+
+The direct-request shortcut is disabled throughout so the refinement
+machinery itself is measured.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import rounded_optimal_buckets
+from repro.core.hbc import HBC
+from repro.experiments.runner import run_synthetic_experiment
+
+from benchmarks.common import archive, base_config, bench_scale, run_once
+
+FIXED_BUCKETS = (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def make_algorithms(compressed: bool):
+    algorithms = {
+        f"HBC-b{buckets}": (
+            lambda spec, b=buckets: HBC(
+                spec,
+                num_buckets=b,
+                direct_request_limit=0,
+                compressed_histograms=compressed,
+            )
+        )
+        for buckets in FIXED_BUCKETS
+    }
+    algorithms["HBC-bopt"] = lambda spec: HBC(
+        spec, direct_request_limit=0, compressed_histograms=compressed
+    )
+    return algorithms
+
+
+def compute():
+    base = base_config(r_max=65535, period=max(8, round(63 * bench_scale())))
+    dense = run_synthetic_experiment(base, make_algorithms(compressed=False))
+    compressed = run_synthetic_experiment(base, make_algorithms(compressed=True))
+    return dense, compressed, base
+
+
+def test_ablation_bucket_count(benchmark):
+    dense, compressed, config = run_once(benchmark, compute)
+    optimum = rounded_optimal_buckets()
+
+    lines = [
+        f"HBC bucket-count ablation ({config.num_nodes} nodes, "
+        f"universe {config.r_max + 1}, cost-model optimum b={optimum})",
+        f"{'variant':12s} {'dense maxE':>12s} {'compr maxE':>12s} {'refin/rnd':>10s}",
+    ]
+    for name in dense:
+        lines.append(
+            f"{name:12s} {dense[name].max_energy_mj:12.4f} "
+            f"{compressed[name].max_energy_mj:12.4f} "
+            f"{dense[name].refinements_per_round:10.2f}"
+        )
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    archive("ablation_buckets", text)
+
+    energies = {name: m.max_energy_mj for name, m in dense.items()}
+    # The cost-model choice beats the binary search...
+    assert energies["HBC-bopt"] < energies["HBC-b2"]
+    # ...and the message-filling histograms of dense encodings.
+    assert energies["HBC-bopt"] < energies["HBC-b256"]
+    # The optimum sits near the best fixed setting.
+    best_fixed = min(
+        energy for name, energy in energies.items() if name != "HBC-bopt"
+    )
+    assert energies["HBC-bopt"] <= best_fixed * 1.25
+    # Refinement counts fall monotonically with b (more buckets = fewer
+    # rounds), which is the log_b behaviour the cost model trades off.
+    refinements = [
+        dense[f"HBC-b{b}"].refinements_per_round for b in FIXED_BUCKETS
+    ]
+    assert all(
+        later <= earlier + 1e-9
+        for earlier, later in zip(refinements, refinements[1:])
+    )
+    # Compression never hurts.
+    for name in dense:
+        assert compressed[name].max_energy_mj <= dense[name].max_energy_mj * 1.01

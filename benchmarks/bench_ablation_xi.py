@@ -1,0 +1,58 @@
+"""Ablation: IQ's Ξ machinery — window length, init policy, hints.
+
+DESIGN.md E-abl2.  Sweeps the design choices Section 4.2 leaves open:
+the adaptation window ``m``, the Ξ seeding policy, and the use of the
+max-difference hint during refinement.
+"""
+
+from __future__ import annotations
+
+from repro.core.iq import IQ
+from repro.experiments.runner import run_synthetic_experiment
+
+from benchmarks.common import archive, base_config, bench_scale, run_once
+
+WINDOWS = (2, 4, 6, 12)
+
+
+def compute():
+    base = base_config(period=max(8, round(125 * bench_scale())))
+    algorithms = {}
+    for window in WINDOWS:
+        algorithms[f"IQ-m{window}"] = (
+            lambda spec, m=window: IQ(spec, window=m)
+        )
+    algorithms["IQ-median-gap"] = lambda spec: IQ(spec, xi_init="median_gap")
+    algorithms["IQ-no-hints"] = lambda spec: IQ(spec, use_hints=False)
+    return run_synthetic_experiment(base, algorithms), base
+
+
+def test_ablation_xi(benchmark):
+    metrics, config = run_once(benchmark, compute)
+
+    lines = [
+        f"IQ Ξ ablation ({config.num_nodes} nodes, period {config.period})",
+        f"{'variant':14s} {'maxE [mJ]':>12s} {'refin/rnd':>10s} {'vals/rnd':>10s}",
+    ]
+    for name, m in metrics.items():
+        lines.append(
+            f"{name:14s} {m.max_energy_mj:12.4f} "
+            f"{m.refinements_per_round:10.2f} {m.values_per_round:10.1f}"
+        )
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    archive("ablation_xi", text)
+
+    # All variants stay exact (checked by the runner) and in the same
+    # performance ballpark: Ξ details tune IQ, they don't make or break it.
+    energies = [m.max_energy_mj for m in metrics.values()]
+    assert max(energies) < 3 * min(energies)
+
+    # Longer windows keep the band open longer: at least as many values
+    # shipped during validation, but no more refinements.
+    first, last = f"IQ-m{WINDOWS[0]}", f"IQ-m{WINDOWS[-1]}"
+    assert metrics[last].values_per_round >= metrics[first].values_per_round
+    assert (
+        metrics[last].refinements_per_round
+        <= metrics[first].refinements_per_round + 0.05
+    )

@@ -1,0 +1,57 @@
+"""Extension E-ext3: probabilistic quantiles via layered sampling (§3.1/[28]).
+
+Sweeps the sampled-layer fraction and reports the rank-error / energy
+trade-off: sampling a quarter of the nodes costs a bounded population-rank
+error while cutting the hotspot's radio budget substantially.
+"""
+
+from __future__ import annotations
+
+from repro.extensions.sampling import run_sampling_experiment
+
+from benchmarks.common import archive, bench_scale, run_once
+
+FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def compute():
+    scale = bench_scale()
+    return run_sampling_experiment(
+        fractions=FRACTIONS,
+        num_nodes=max(100, round(500 * scale)),
+        num_rounds=max(25, round(250 * scale)),
+    )
+
+
+def test_ext_layered_sampling(benchmark):
+    result = run_once(benchmark, compute)
+
+    lines = [
+        f"layered sampling with {result.algorithm}",
+        f"{'fraction':>9s} {'layer':>6s} {'rank-err':>9s} {'max-rank-err':>13s} "
+        f"{'value-err':>10s} {'hotspot mJ':>11s} {'exact':>6s}",
+    ]
+    for point in result.points:
+        lines.append(
+            f"{point.fraction:9.2f} {point.layer_size:6d} "
+            f"{point.mean_rank_error:9.2f} {point.max_rank_error:13d} "
+            f"{point.mean_value_error:10.2f} {point.hotspot_energy_mj:11.4f} "
+            f"{point.exact_fraction:6.2f}"
+        )
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    archive("ext_sampling", text)
+
+    points = {point.fraction: point for point in result.points}
+    # The full layer is the exact algorithm.
+    assert points[1.0].mean_rank_error == 0.0
+    assert points[1.0].exact_fraction == 1.0
+    # Rank error decreases as the layer grows...
+    assert points[0.1].mean_rank_error > points[0.5].mean_rank_error
+    assert points[0.5].mean_rank_error >= points[1.0].mean_rank_error
+    # ...and the sampled layers are cheaper for the hotspot.
+    assert points[0.1].hotspot_energy_mj < points[1.0].hotspot_energy_mj
+    # Concentration: even a 25% layer keeps the mean rank error within a
+    # few percent of |N| (binomial concentration around rank phi*|N|).
+    population = points[1.0].layer_size
+    assert points[0.25].mean_rank_error < 0.1 * population

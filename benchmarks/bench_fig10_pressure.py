@@ -1,0 +1,55 @@
+"""Figure 10: air-pressure dataset, varying the sampling rate (skip).
+
+Paper shapes (Section 5.2.5): skipping more samples weakens the temporal
+correlation, so every continuous approach gets more expensive; POS-family
+approaches are barely affected by the optimistic/pessimistic range scaling
+(their cost depends on candidate counts, not the universe); LCLL-H improves
+under the pessimistic scaling, where measurements are close together
+relative to its bucket widths.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweeps import PRESSURE_SKIPS, sweep_pressure
+
+from benchmarks.common import archive, base_pressure_config, report, run_once
+
+
+def compute():
+    base = base_pressure_config()
+    optimistic = sweep_pressure(
+        skips=PRESSURE_SKIPS, pessimistic=False, base=base, scale=1.0
+    )
+    pessimistic = sweep_pressure(
+        skips=PRESSURE_SKIPS, pessimistic=True, base=base, scale=1.0
+    )
+    return optimistic, pessimistic
+
+
+def test_fig10_pressure_sampling_rate(benchmark):
+    optimistic, pessimistic = run_once(benchmark, compute)
+    text_opt = report(
+        optimistic, "Figure 10a", "air pressure, optimistic range scaling"
+    )
+    text_pes = report(
+        pessimistic, "Figure 10b", "air pressure, pessimistic range scaling"
+    )
+    archive("figure_10", text_opt + "\n" + text_pes)
+
+    for result in (optimistic, pessimistic):
+        # Weaker temporal correlation costs all continuous approaches.
+        for name in ("POS", "HBC", "IQ", "LCLL-S"):
+            energy = result.energy_series(name)
+            assert energy[-1] > energy[0], name
+
+    # POS-family approaches are insensitive to the range scaling.
+    for name in ("POS", "IQ"):
+        opt0 = optimistic.energy_series(name)[0]
+        pes0 = pessimistic.energy_series(name)[0]
+        assert abs(opt0 - pes0) / opt0 < 0.25, name
+
+    # LCLL-H benefits from the pessimistic setting at the densest sampling.
+    assert (
+        pessimistic.energy_series("LCLL-H")[0]
+        <= optimistic.energy_series("LCLL-H")[0] * 1.05
+    )

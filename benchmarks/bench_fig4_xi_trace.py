@@ -1,0 +1,50 @@
+"""Figure 4: the adaptive band Ξ tracking the quantile over a pressure trace.
+
+The paper's figure plots, over 125 rounds of an air-pressure trace, the
+quantile (black line), the band Ξ (dark grey) inside the network's value
+range (light grey), with white gaps marking the rare refinement rounds.
+This benchmark regenerates the underlying series and checks the figure's
+qualitative content: Ξ tracks the quantile, usually contains the next one,
+and refinements are rare after the band has adapted.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig4_xi_trace
+
+from benchmarks.common import archive, bench_scale, run_once
+
+
+def compute():
+    scale = max(bench_scale(), 0.4)
+    return fig4_xi_trace(
+        num_rounds=125, num_nodes=max(80, round(1022 * scale * 0.25))
+    )
+
+
+def test_fig4_xi_trace(benchmark):
+    trace = run_once(benchmark, compute)
+
+    lines = [
+        "round  quantile  xi_l  xi_r  in_band  refined  net_min  net_max"
+    ]
+    for index, diag in enumerate(trace.rounds):
+        lines.append(
+            f"{index:5d}  {diag.quantile:8d}  {diag.xi_left:4d}  "
+            f"{diag.xi_right:4d}  {diag.values_in_xi:7d}  "
+            f"{str(diag.refined):>7s}  {diag.network_min:7d}  {diag.network_max:7d}"
+        )
+    hit = trace.band_contains_next_quantile_ratio
+    lines.append(f"\nband-contains-next-quantile ratio: {hit:.3f}")
+    lines.append(f"refinement rounds: {trace.refinement_rounds}")
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    archive("figure_4", text)
+
+    # The quantile stays inside the network's value range...
+    for diag in trace.rounds:
+        assert diag.network_min <= diag.quantile <= diag.network_max
+    # ...Ξ usually already contains the next quantile (few white gaps)...
+    assert hit > 0.6
+    # ...and refinements are correspondingly rare.
+    assert len(trace.refinement_rounds) < len(trace.rounds) * 0.4

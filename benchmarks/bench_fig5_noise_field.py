@@ -1,0 +1,36 @@
+"""Figure 5: the interpolated-noise field used to initialize node values.
+
+The paper shows an example 256-level greyscale noise image.  This benchmark
+renders the field and verifies its two load-bearing statistical properties:
+full 8-bit dynamic range (before the sub-level dither) and strong spatial
+correlation (the reason physically close nodes measure similar values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig5_noise_field
+
+from benchmarks.common import archive, run_once
+
+
+def test_fig5_noise_field(benchmark):
+    result = run_once(benchmark, fig5_noise_field)
+    field = result.field
+
+    text = (
+        f"shape: {field.shape}\n"
+        f"grey levels: {result.grey_levels}\n"
+        f"lag-1 spatial autocorrelation: {result.spatial_correlation:.4f}\n"
+        f"mean: {field.mean():.4f}  std: {field.std():.4f}\n"
+    )
+    print("\n" + text)
+    archive("figure_5", text)
+
+    assert field.shape == (256, 256)
+    assert result.grey_levels > 200  # near-full 8-bit range
+    assert result.spatial_correlation > 0.95
+    # The field is non-degenerate noise, not a gradient: both tails exist.
+    assert np.quantile(field, 0.05) < 0.35
+    assert np.quantile(field, 0.95) > 0.65

@@ -1,0 +1,47 @@
+"""Figure 8: energy and lifetime vs. the measurement noise ψ.
+
+Paper shapes (Section 5.2.3): POS, HBC and IQ degrade with noise because
+more nodes cross the filter and hints widen; LCLL-H is nearly insensitive —
+only the quantile's own motion matters to it; LCLL-S converges towards
+LCLL-H at high noise.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweeps import NOISE_PERCENTS, sweep
+
+from benchmarks.common import base_config, report, run_once
+
+
+def compute():
+    return sweep(
+        "noise_percent",
+        values=NOISE_PERCENTS,  # percentages need no scaling
+        base=base_config(),
+        scale=1.0,
+    )
+
+
+def test_fig8_varying_noise(benchmark):
+    result = run_once(benchmark, compute)
+    report(result, "Figure 8", "synthetic dataset, varying the noise psi")
+
+    def growth(name: str) -> float:
+        series = result.energy_series(name)
+        return series[-1] / series[0]
+
+    # The filter-based approaches pay for noise.
+    for name in ("POS", "HBC", "IQ"):
+        assert growth(name) > 1.3, name
+    # LCLL-H barely cares: its validation only reacts to bucket crossings
+    # and its refinements only to quantile motion.
+    assert growth("LCLL-H") < growth("POS")
+    assert growth("LCLL-H") < 1.6
+    # The LCLL variants are the least noise-sensitive approaches because
+    # only the quantile's (noise-robust) motion drives their refinements.
+    # Known deviation from the paper: our slip windows absorb the median's
+    # noise wiggle entirely, so LCLL-S does not converge to LCLL-H at high
+    # noise as Fig 8 shows — see EXPERIMENTS.md.
+    assert growth("LCLL-S") < growth("POS")
+    # TAG's collection cost is noise-independent by construction.
+    assert growth("TAG") < 1.05

@@ -1,0 +1,65 @@
+"""Transmitted messages and values per round (the metrics deferred to [20]).
+
+The paper reports only energy and lifetime "for the sake of brevity" and
+defers the per-round message/value counts to its technical report [20].
+This bench regenerates those tables for the default configuration and
+checks the structural relationships between the four indicators.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import default_algorithms
+from repro.experiments.runner import run_synthetic_experiment
+
+from benchmarks.common import archive, base_config, run_once
+
+
+def compute():
+    base = base_config()
+    return run_synthetic_experiment(base, default_algorithms()), base
+
+
+def test_traffic_metrics(benchmark):
+    metrics, config = run_once(benchmark, compute)
+
+    lines = [
+        f"traffic indicators ({config.num_nodes} nodes, tau={config.period}, "
+        f"psi={config.noise_percent}%)",
+        f"{'algorithm':10s} {'msgs/rnd':>10s} {'vals/rnd':>10s} "
+        f"{'refin/rnd':>10s} {'exch/rnd':>9s} {'maxE [mJ]':>11s}",
+    ]
+    for name, m in metrics.items():
+        lines.append(
+            f"{name:10s} {m.messages_per_round:10.1f} {m.values_per_round:10.1f} "
+            f"{m.refinements_per_round:10.2f} {m.exchanges_per_round:9.2f} "
+            f"{m.max_energy_mj:11.4f}"
+        )
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    archive("metrics_traffic", text)
+
+    # TAG ships every value up the tree: by far the most raw values.
+    values = {name: m.values_per_round for name, m in metrics.items()}
+    assert values["TAG"] > 3 * max(
+        v for name, v in values.items() if name != "TAG"
+    )
+    # LCLL validation is pure counter deltas: no raw values outside
+    # (rare) slips, and none at all for the hierarchical variant's
+    # histogram-only refinements.
+    assert values["LCLL-H"] == 0.0
+    # IQ trades values (the multiset A) for round-trips: fewer messages
+    # than the iterating approaches, more raw values than POS.
+    messages = {name: m.messages_per_round for name, m in metrics.items()}
+    assert messages["IQ"] < messages["POS"]
+    assert messages["IQ"] < messages["LCLL-H"]
+    # Energy broadly follows message counts for the filter-based family.
+    assert (messages["IQ"] < messages["HBC"]) == (
+        metrics["IQ"].max_energy_mj < metrics["HBC"].max_energy_mj
+    )
+    # Latency ([15]'s dimension): TAG needs exactly one convergecast per
+    # round, and IQ's two-convergecast bound keeps it ahead of the
+    # iterating refiners.
+    exchanges = {name: m.exchanges_per_round for name, m in metrics.items()}
+    assert exchanges["TAG"] <= 1.1
+    assert exchanges["IQ"] <= 4.0  # validation + <=1 refinement + broadcasts
+    assert exchanges["IQ"] < exchanges["LCLL-H"] + 2.0

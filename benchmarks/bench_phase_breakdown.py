@@ -1,0 +1,83 @@
+"""Where the bits go: per-phase traffic breakdown of every algorithm.
+
+Attributes every on-air bit to its protocol phase (initialization /
+validation / refinement / filter / collection) and checks the structural
+expectations behind the paper's design arguments: IQ concentrates its
+budget in validation (the A multiset) and almost none in refinement, POS
+and LCLL spend heavily on refinement exchanges, and the filter broadcasts
+are a minor line item for everyone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import default_algorithms
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.network.routing import build_routing_tree
+from repro.network.topology import connected_random_graph
+from repro.sim.runner import SimulationRunner
+from repro.types import QuerySpec
+
+from benchmarks.common import archive, bench_scale, run_once
+
+PHASES = ("initialization", "collection", "validation", "refinement", "filter")
+
+
+def compute():
+    scale = bench_scale()
+    rng = np.random.default_rng(20140324)
+    num_nodes = max(75, round(500 * scale))
+    rounds = max(40, round(250 * scale))
+    graph = connected_random_graph(num_nodes + 1, 35.0, rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(
+        graph.positions, rng, period=max(8, round(63 * scale)),
+        noise_percent=5.0,
+    )
+    spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+    runner = SimulationRunner(tree, 35.0, check=True)
+    return {
+        name: runner.run(factory(spec), workload.values, rounds)
+        for name, factory in default_algorithms().items()
+    }
+
+
+def test_phase_breakdown(benchmark):
+    results = run_once(benchmark, compute)
+
+    lines = [
+        "per-phase share of on-air bits",
+        f"{'algorithm':10s} " + "".join(f"{phase:>15s}" for phase in PHASES),
+    ]
+    shares = {}
+    for name, result in results.items():
+        total = sum(result.phase_bits.values())
+        share = {
+            phase: result.phase_bits.get(phase, 0) / total for phase in PHASES
+        }
+        shares[name] = share
+        lines.append(
+            f"{name:10s} " + "".join(f"{share[phase]:15.1%}" for phase in PHASES)
+        )
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    archive("phase_breakdown", text)
+
+    # TAG is pure collection.
+    assert shares["TAG"]["collection"] > 0.95
+    # IQ front-loads validation and spends less share on refinement than
+    # the iterating refiners.
+    assert shares["IQ"]["validation"] > shares["IQ"]["refinement"]
+    assert shares["IQ"]["refinement"] < shares["POS"]["refinement"]
+    assert shares["IQ"]["refinement"] < shares["LCLL-H"]["refinement"]
+    # Filter broadcasts are a minor line item everywhere.
+    for name in results:
+        assert shares[name]["filter"] < 0.30
+    # Every accounted bit belongs to a known phase.
+    for name, result in results.items():
+        unknown = sum(
+            bits for phase, bits in result.phase_bits.items()
+            if phase not in PHASES
+        )
+        assert unknown == 0, (name, result.phase_bits)

@@ -1,0 +1,97 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates the series behind one of the paper's figures,
+prints them in the paper's layout and archives them under
+``benchmarks/results/``.  Scale is controlled by ``REPRO_BENCH_SCALE``
+(default 0.15): sweep values such as node counts are multiplied by the
+scale, and runs/rounds shrink accordingly.  ``REPRO_BENCH_SCALE=1`` runs
+the paper's full Table 2 settings (20 runs x 250 rounds — hours, not
+minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig, PressureConfig
+from repro.experiments.report import format_sweep_table
+from repro.experiments.sweeps import SweepResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Benchmark scale from ``REPRO_BENCH_SCALE`` (default 0.15)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "0.15")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"REPRO_BENCH_SCALE must be a float, got {raw!r}"
+        ) from exc
+    if not 0 < value <= 1:
+        raise ConfigurationError(f"REPRO_BENCH_SCALE out of range (0, 1]: {value}")
+    return value
+
+
+def scaled_values(paper_values: tuple, minimum: float = 1.0) -> list:
+    """Multiply the paper's sweep values by the benchmark scale.
+
+    Values that collapse onto the floor are deduplicated (order preserved),
+    so very small scales sweep fewer, distinct settings.
+    """
+    scale = bench_scale()
+    kind = type(paper_values[0])
+    scaled = [kind(max(minimum, round(v * scale))) for v in paper_values]
+    unique: list = []
+    for value in scaled:
+        if value not in unique:
+            unique.append(value)
+    return unique
+
+
+def base_config(**overrides) -> ExperimentConfig:
+    """The Table 2 defaults at benchmark scale."""
+    return ExperimentConfig(**overrides).scaled(bench_scale())
+
+
+def base_pressure_config(**overrides) -> PressureConfig:
+    """The air-pressure defaults at benchmark scale."""
+    return PressureConfig(**overrides).scaled(bench_scale())
+
+
+def report(result: SweepResult, figure: str, description: str) -> str:
+    """Render, print and archive both of the paper's metrics for a sweep."""
+    energy = format_sweep_table(
+        result,
+        metric="max_energy_mj",
+        title=f"{figure} — {description} — maximum per-node energy [mJ]",
+    )
+    lifetime = format_sweep_table(
+        result,
+        metric="lifetime_rounds",
+        title=f"{figure} — {description} — network lifetime [rounds]",
+    )
+    text = energy + "\n\n" + lifetime + "\n"
+    print("\n" + text)
+    archive(figure, text)
+    return text
+
+
+def archive(name: str, text: str) -> Path:
+    """Write a benchmark's output under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name.lower().replace(' ', '_')}.txt"
+    path.write_text(text)
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The interesting output of these benchmarks is the reproduced series,
+    not the wall-clock time, so a single iteration suffices.
+    """
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: a continuous median query over a simulated sensor network.
+
+Builds a 150-node deployment, runs the paper's IQ algorithm for 60 rounds
+of a slowly changing synthetic phenomenon, and prints the tracked median
+together with the radio cost that tracking it actually incurred.
+"""
+
+import numpy as np
+
+from repro import (
+    IQ,
+    QuerySpec,
+    SimulationRunner,
+    SyntheticWorkload,
+    build_routing_tree,
+    connected_random_graph,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+
+    # 1. Deploy 150 sensor nodes (plus the sink) with a 35 m radio range
+    #    and route everything over a shortest-path tree.
+    graph = connected_random_graph(151, radio_range=35.0, rng=rng)
+    tree = build_routing_tree(graph, root=0)
+
+    # 2. A synthetic phenomenon: spatially correlated initial values that
+    #    drift sinusoidally (period 60 rounds) with 5% measurement noise.
+    workload = SyntheticWorkload(
+        graph.positions, rng, period=60, noise_percent=5.0
+    )
+
+    # 3. Ask for the exact, continuously maintained median.
+    spec = QuerySpec(phi=0.5, r_min=workload.r_min, r_max=workload.r_max)
+    runner = SimulationRunner(tree, radio_range=35.0)
+    result = runner.run(IQ(spec), workload.values, num_rounds=60)
+
+    print(f"tracked {result.num_rounds} rounds, all exact: {result.all_exact}")
+    print(f"median trace (every 5th round): {result.quantile_series[::5]}")
+    print(f"refinement convergecasts needed: {result.total_refinements}")
+    print(
+        "hotspot node consumes "
+        f"{result.max_mean_round_energy_j * 1e6:.1f} uJ/round "
+        f"=> network lifetime ~{result.lifetime_rounds:.0f} rounds"
+    )
+
+
+if __name__ == "__main__":
+    main()

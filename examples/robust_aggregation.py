@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Why medians? Robust in-network aggregation with defective sensors.
+
+The paper motivates quantile queries with their robustness: "in a set of
+values 3,3,3,3,103 with 103 representing an outlier, the median query would
+return 3, while the average would be 23" (Section 1).  This example injects
+a growing fraction of defective nodes (stuck-at-max readings) into a
+deployment and tracks both the true field value, the network median (via
+the IQ algorithm) and the average — the median barely moves, the average
+runs away.
+"""
+
+import numpy as np
+
+from repro import (
+    IQ,
+    QuerySpec,
+    SimulationRunner,
+    SyntheticWorkload,
+    build_routing_tree,
+    connected_random_graph,
+)
+
+DEFECT_RATES = (0.0, 0.02, 0.05, 0.10, 0.20)
+ROUNDS = 30
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    graph = connected_random_graph(201, radio_range=35.0, rng=rng)
+    tree = build_routing_tree(graph, root=0)
+    base = SyntheticWorkload(
+        graph.positions, rng, period=250, noise_percent=2.0
+    )
+    spec = QuerySpec(phi=0.5, r_min=base.r_min, r_max=base.r_max)
+    sensors = list(tree.sensor_nodes)
+
+    print(f"{'defective':>10s} {'median':>8s} {'average':>9s} {'median drift':>13s}")
+    clean_median = None
+    for rate in DEFECT_RATES:
+        defective = rng.choice(
+            sensors, size=int(rate * len(sensors)), replace=False
+        )
+
+        def values(round_index, defective=defective):
+            readings = base.values(round_index).copy()
+            readings[defective] = base.r_max  # stuck-at-max sensors
+            return readings
+
+        runner = SimulationRunner(tree, radio_range=35.0)
+        result = runner.run(IQ(spec), values, ROUNDS)
+        final = values(ROUNDS - 1)[sensors]
+        median = result.quantile_series[-1]
+        average = float(final.mean())
+        if clean_median is None:
+            clean_median = median
+        print(
+            f"{rate:10.0%} {median:8d} {average:9.1f} "
+            f"{median - clean_median:+13d}"
+        )
+
+    print(
+        "\nThe exact median (computed fully in-network) shifts by a few "
+        "units while\nthe average chases the stuck sensors — the paper's "
+        "core motivation for\nenergy-efficient quantile queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""wsn-quantiles: continuous exact quantile queries in wireless sensor networks.
+
+A faithful Python reproduction of Niedermayer, Nascimento, Renz, Kröger and
+Kriegel, *"Continuous Quantile Query Processing in Wireless Sensor
+Networks"*, EDBT 2014 — including the paper's two contributions (the
+cost-model-driven HBC algorithm and the heuristic IQ algorithm), all
+evaluated baselines (TAG, POS, LCLL-H/S), the message/energy-accounting WSN
+simulator they run on, and the synthetic and air-pressure workloads of the
+evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        IQ, QuerySpec, SimulationRunner, SyntheticWorkload,
+        build_routing_tree, connected_random_graph,
+    )
+
+    rng = np.random.default_rng(7)
+    graph = connected_random_graph(101, radio_range=35.0, rng=rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(graph.positions, rng)
+    runner = SimulationRunner(tree, radio_range=35.0)
+    result = runner.run(IQ(QuerySpec()), workload.values, num_rounds=50)
+    print(result.quantile_series, result.lifetime_rounds)
+"""
+
+from repro.baselines import LCLLHierarchical, LCLLSlip, POS, TAG
+from repro.core import (
+    HBC,
+    IQ,
+    ContinuousQuantileAlgorithm,
+    exact_optimal_buckets,
+    optimal_buckets,
+)
+from repro.datasets import PressureWorkload, SyntheticWorkload, Workload
+from repro.errors import (
+    ConfigurationError,
+    EnergyError,
+    ProtocolError,
+    ReproError,
+    TopologyError,
+)
+from repro.network import build_physical_graph, build_routing_tree
+from repro.network.topology import connected_random_graph
+from repro.radio import EnergyLedger, EnergyModel
+from repro.sim import SimulationRunner, TreeNetwork, exact_quantile, quantile_rank
+from repro.types import QuerySpec, RoundOutcome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HBC",
+    "IQ",
+    "LCLLHierarchical",
+    "LCLLSlip",
+    "POS",
+    "TAG",
+    "ConfigurationError",
+    "ContinuousQuantileAlgorithm",
+    "EnergyError",
+    "EnergyLedger",
+    "EnergyModel",
+    "PressureWorkload",
+    "ProtocolError",
+    "QuerySpec",
+    "ReproError",
+    "RoundOutcome",
+    "SimulationRunner",
+    "SyntheticWorkload",
+    "TopologyError",
+    "TreeNetwork",
+    "Workload",
+    "build_physical_graph",
+    "build_routing_tree",
+    "connected_random_graph",
+    "exact_optimal_buckets",
+    "exact_quantile",
+    "optimal_buckets",
+    "quantile_rank",
+]

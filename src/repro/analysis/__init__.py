@@ -1,0 +1,17 @@
+"""Statistical analysis of experiment output."""
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    crossover_points,
+    dominance_summary,
+    relative_improvement,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_mean_ci",
+    "crossover_points",
+    "dominance_summary",
+    "relative_improvement",
+]

@@ -1,0 +1,133 @@
+"""Statistics for comparing algorithms across sweeps.
+
+The paper's figures make three kinds of claims, and this module quantifies
+each of them from our measured series:
+
+* *who wins* — :func:`dominance_summary` counts, per algorithm, at how many
+  sweep settings it is the cheapest;
+* *by how much* — :func:`relative_improvement` and
+  :func:`bootstrap_mean_ci` (a seedable percentile bootstrap over the
+  per-run samples, since run counts are far too small for normal-theory
+  intervals);
+* *where behaviour crosses over* — :func:`crossover_points` finds the sweep
+  positions where one algorithm overtakes another (e.g. LCLL-S vs. LCLL-H
+  along the noise axis in Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided bootstrap confidence interval for a mean."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        """Interval width ``high - low``."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """True iff ``value`` lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval for the sample mean."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ConfigurationError(f"resamples must be >= 1, got {resamples}")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(resamples, data.size))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        mean=float(data.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """Fractional cost reduction of ``improved`` over ``baseline``.
+
+    Positive when ``improved`` is cheaper: 0.25 means "25% less".
+    """
+    if baseline <= 0:
+        raise ConfigurationError(f"baseline must be positive, got {baseline}")
+    return (baseline - improved) / baseline
+
+
+def dominance_summary(
+    series: Mapping[str, Sequence[float]], lower_is_better: bool = True
+) -> dict[str, int]:
+    """How many sweep positions each algorithm wins.
+
+    Ties award the win to every tied algorithm.
+    """
+    if not series:
+        raise ConfigurationError("empty series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(f"series lengths differ: {lengths}")
+    (length,) = lengths
+    wins = {name: 0 for name in series}
+    for index in range(length):
+        column = {name: values[index] for name, values in series.items()}
+        best = min(column.values()) if lower_is_better else max(column.values())
+        for name, value in column.items():
+            if value == best:
+                wins[name] += 1
+    return wins
+
+
+def crossover_points(
+    xs: Sequence[float],
+    first: Sequence[float],
+    second: Sequence[float],
+) -> list[float]:
+    """Sweep positions where ``first`` and ``second`` change order.
+
+    Returns the linearly interpolated x of every sign change of
+    ``first - second``.  An exact tie at a grid point registers a crossover
+    at that point when the ordering differs on its two sides.
+    """
+    if not (len(xs) == len(first) == len(second)):
+        raise ConfigurationError("xs, first and second must have equal length")
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two sweep points")
+    difference = np.asarray(first, dtype=float) - np.asarray(second, dtype=float)
+    crossings: list[float] = []
+    for index in range(len(xs) - 1):
+        left, right = difference[index], difference[index + 1]
+        if left == 0.0 and right == 0.0:
+            continue
+        if left == 0.0:
+            crossings.append(float(xs[index]))
+        elif left * right < 0.0:
+            fraction = left / (left - right)
+            crossings.append(
+                float(xs[index]) + fraction * (float(xs[index + 1]) - float(xs[index]))
+            )
+    return crossings

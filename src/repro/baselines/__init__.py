@@ -1,0 +1,7 @@
+"""Baseline algorithms the paper compares against: TAG, POS and LCLL."""
+
+from repro.baselines.lcll import LCLLHierarchical, LCLLSlip
+from repro.baselines.pos import POS
+from repro.baselines.tag import TAG
+
+__all__ = ["LCLLHierarchical", "LCLLSlip", "POS", "TAG"]

@@ -1,0 +1,417 @@
+"""LCLL: message-size-driven histogram quantile tracking (Liu et al. [16]).
+
+The paper evaluates LCLL with ``b`` chosen to fill one message (64 two-byte
+bucket counts in a 128-byte payload) and two refinement strategies:
+
+* **Hierarchical refining (LCLL-H)** — the root maintains a *zoom path*: a
+  chain of bucket grids, starting with 64 buckets over the whole universe
+  and recursively subdividing the bucket that contains the current quantile
+  until buckets cover single values.  Nodes stay registered to every grid
+  level that contains their value and report cheap per-bucket count deltas
+  during validation (the improved validation of Section 5.1.6: one ``-1``
+  and one ``+1`` entry per changed level).  When the rank-k bucket leaves
+  the cached path at some level, the root zooms out (one broadcast) and
+  re-descends (one broadcast + one histogram convergecast per level) —
+  ``O(log_b)`` in the distance the quantile moved, independent of ``|N|``
+  and insensitive to noise that stays within buckets.
+
+* **Slip refining (LCLL-S)** — the root maintains a *focused window* of 64
+  unit-width cells around the quantile plus two boundary counters (values
+  below/above the window).  Validation reports cell/boundary deltas.  When
+  rank k leaves the window, the window *slips* one window-width at a time
+  toward it; each slip costs one broadcast plus a histogram convergecast
+  answered only by nodes inside the 64-value target window — very selective
+  (good at large ``|N|``), but linear in the quantile distance.
+
+The full LCLL internals are sketched rather than specified in the paper;
+this implementation reproduces every property Section 5.2 relies on (see
+DESIGN.md, "Faithful-simulation substitutions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    REFINEMENT_REQUEST_BITS,
+    VALUE_BITS,
+    VALUES_PER_MESSAGE,
+)
+from repro.core.base import (
+    ContinuousQuantileAlgorithm,
+    sensor_mask,
+    tag_initialization,
+)
+from repro.core.histogram import BucketGrid, make_grid
+from repro.core.payloads import BucketDeltaPayload, HistogramPayload
+from repro.errors import ProtocolError
+from repro.sim.engine import TreeNetwork
+from repro.types import QuerySpec, RoundOutcome
+
+#: LCLL fills one maximum payload with bucket counts (Section 5.1.6).
+LCLL_BUCKETS: int = VALUES_PER_MESSAGE
+
+#: Pseudo-level used by LCLL-S for the below/above boundary regions.
+_REGION_LEVEL: int = -1
+_BELOW, _ABOVE = 0, 1
+
+
+class LCLLHierarchical(ContinuousQuantileAlgorithm):
+    """LCLL with recursive hierarchical refining (LCLL-H)."""
+
+    name = "LCLL-H"
+
+    def __init__(self, spec: QuerySpec, num_buckets: int = LCLL_BUCKETS) -> None:
+        super().__init__(spec)
+        if num_buckets < 2:
+            raise ProtocolError(f"need at least 2 buckets, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self._grids: list[BucketGrid] = []
+        self._counts: list[list[int]] = []
+        self._registration: np.ndarray | None = None  # (levels, vertices)
+        self._mask: np.ndarray | None = None
+
+    # -- rounds ---------------------------------------------------------------
+
+    def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        k = self.rank(net)
+        self._grids, self._counts = [], []
+        low, high = self.spec.r_min, self.spec.r_max
+        below = 0
+        refinements = 0
+        quantile: int | None = None
+        net.phase = "refinement"
+        while True:
+            grid = make_grid(low, high, self.num_buckets)
+            net.broadcast(REFINEMENT_REQUEST_BITS)  # zoom-in request
+            counts = list(self._collect_histogram(net, values, grid))
+            refinements += 1
+            self._grids.append(grid)
+            self._counts.append(counts)
+            bucket, skipped = _locate_bucket(counts, k - below - 1)
+            bucket_low, bucket_high = grid.bucket_bounds(bucket)
+            if bucket_low == bucket_high:
+                quantile = bucket_low
+                break
+            below += skipped
+            low, high = bucket_low, bucket_high
+        self._registration = self._register_all(net, values)
+        self.current_quantile = quantile
+        return RoundOutcome(quantile=quantile, refinements=refinements)
+
+    def update(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        if self._registration is None:
+            raise ProtocolError("update() called before initialize()")
+        k = self.rank(net)
+        new_registration = self._register_all(net, values)
+        self._validate(net, new_registration)
+        self._registration = new_registration
+
+        # Walk the cached zoom path with the freshly updated counts.
+        below = 0
+        refinements = 0
+        for level, (grid, counts) in enumerate(zip(self._grids, self._counts)):
+            target = k - below - 1
+            if not 0 <= target < sum(counts):
+                raise ProtocolError(
+                    f"rank {k} outside level-{level} grid "
+                    f"[{grid.low}, {grid.high}]"
+                )
+            bucket, skipped = _locate_bucket(counts, target)
+            bucket_low, bucket_high = grid.bucket_bounds(bucket)
+            if bucket_low == bucket_high:
+                # Exact value reachable from cached counts: no refinement.
+                self.current_quantile = bucket_low
+                return RoundOutcome(quantile=bucket_low, refinements=refinements)
+            below += skipped
+            next_level = level + 1
+            if (
+                next_level < len(self._grids)
+                and self._grids[next_level].low == bucket_low
+                and self._grids[next_level].high == bucket_high
+            ):
+                continue  # the cached path still covers rank k: descend
+
+            # Re-zoom: drop the stale tail, zoom out once, then descend.
+            self._grids = self._grids[:next_level]
+            self._counts = self._counts[:next_level]
+            net.phase = "refinement"
+            net.broadcast(REFINEMENT_REQUEST_BITS)  # zoom-out / deregister
+            quantile, extra = self._descend(
+                net, values, k, below, bucket_low, bucket_high
+            )
+            self._registration = self._register_all(net, values)
+            self.current_quantile = quantile
+            return RoundOutcome(quantile=quantile, refinements=refinements + extra)
+        raise ProtocolError("zoom path exhausted without locating the quantile")
+
+    # -- internals ------------------------------------------------------------
+
+    def _descend(
+        self,
+        net: TreeNetwork,
+        values: np.ndarray,
+        k: int,
+        below: int,
+        low: int,
+        high: int,
+    ) -> tuple[int, int]:
+        """Zoom into ``[low, high]`` until the rank-k value is unique."""
+        net.phase = "refinement"
+        refinements = 0
+        while True:
+            grid = make_grid(low, high, self.num_buckets)
+            net.broadcast(REFINEMENT_REQUEST_BITS)
+            counts = list(self._collect_histogram(net, values, grid))
+            refinements += 1
+            self._grids.append(grid)
+            self._counts.append(counts)
+            bucket, skipped = _locate_bucket(counts, k - below - 1)
+            bucket_low, bucket_high = grid.bucket_bounds(bucket)
+            if bucket_low == bucket_high:
+                return bucket_low, refinements
+            below += skipped
+            low, high = bucket_low, bucket_high
+
+    def _validate(self, net: TreeNetwork, new_registration: np.ndarray) -> None:
+        """Delta convergecast; applies the merged deltas to cached counts."""
+        assert self._registration is not None
+        old_reg = self._registration
+        contributions: dict[int, BucketDeltaPayload] = {}
+        levels = len(self._grids)
+        changed = np.flatnonzero((old_reg != new_registration).any(axis=0))
+        for vertex in changed:
+            vertex = int(vertex)
+            deltas: dict[tuple[int, int], int] = {}
+            for level in range(levels):
+                old = int(old_reg[level, vertex])
+                new = int(new_registration[level, vertex])
+                if old == new:
+                    continue
+                if old >= 0:
+                    deltas[(level, old)] = deltas.get((level, old), 0) - 1
+                if new >= 0:
+                    deltas[(level, new)] = deltas.get((level, new), 0) + 1
+            if deltas:
+                contributions[vertex] = BucketDeltaPayload(
+                    deltas=tuple(sorted(deltas.items()))
+                )
+        net.phase = "validation"
+        merged = net.convergecast(contributions)
+        if merged is None:
+            return
+        for (level, bucket), delta in merged.as_dict().items():
+            self._counts[level][bucket] += delta
+            if self._counts[level][bucket] < 0:
+                raise ProtocolError(
+                    f"negative count at level {level} bucket {bucket}"
+                )
+
+    def _register_all(self, net: TreeNetwork, values: np.ndarray) -> np.ndarray:
+        """Per-level bucket registration of every vertex (-1 = outside)."""
+        if self._mask is None:
+            self._mask = sensor_mask(net)
+        levels = len(self._grids)
+        registration = np.full((levels, net.tree.num_vertices), -1, dtype=np.int32)
+        values = np.asarray(values)
+        for level, grid in enumerate(self._grids):
+            indices = grid.bucket_of_array(values)
+            indices[~self._mask] = -1
+            registration[level] = indices
+        return registration
+
+    def _collect_histogram(
+        self, net: TreeNetwork, values: np.ndarray, grid: BucketGrid
+    ) -> tuple[int, ...]:
+        if self._mask is None:
+            self._mask = sensor_mask(net)
+        indices = grid.bucket_of_array(np.asarray(values))
+        indices[~self._mask] = -1
+        contributions: dict[int, HistogramPayload] = {}
+        for vertex in np.flatnonzero(indices >= 0):
+            vertex = int(vertex)
+            counts = [0] * grid.num_buckets
+            counts[int(indices[vertex])] = 1
+            contributions[vertex] = HistogramPayload(counts=tuple(counts))
+        merged = net.convergecast(contributions)
+        if merged is None:
+            return (0,) * grid.num_buckets
+        return merged.counts
+
+
+class LCLLSlip(ContinuousQuantileAlgorithm):
+    """LCLL with slip refining (LCLL-S): a sliding 64-value focused window."""
+
+    name = "LCLL-S"
+
+    def __init__(self, spec: QuerySpec, window_cells: int = LCLL_BUCKETS) -> None:
+        super().__init__(spec)
+        if window_cells < 2:
+            raise ProtocolError(f"window needs >= 2 cells, got {window_cells}")
+        self.window_cells = window_cells
+        self._window_low: int | None = None
+        self._cells: list[int] = []
+        self._below: int = 0
+        self._above: int = 0
+        self._state: np.ndarray | None = None
+        self._mask: np.ndarray | None = None
+
+    @property
+    def _window_high(self) -> int:
+        assert self._window_low is not None
+        return self._window_low + self.window_cells - 1
+
+    # -- rounds ---------------------------------------------------------------
+
+    def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        k = self.rank(net)
+        quantile, counters, smallest = tag_initialization(net, values, k)
+        # Centre the focused window on the initial quantile and register the
+        # in-window nodes with one histogram.  Windows may extend past the
+        # universe bounds; cells for unrepresentable values simply stay empty.
+        low = quantile - self.window_cells // 2
+        self._window_low = low
+        net.phase = "initialization"
+        net.broadcast(2 * VALUE_BITS)  # window announcement
+        self._cells = list(self._collect_window(net, values, low))
+        self._below = sum(1 for value in smallest if value < low)
+        self._above = net.num_sensor_nodes - self._below - sum(self._cells)
+        self._state = self._positions(net, values)
+        self.current_quantile = quantile
+        return RoundOutcome(quantile=quantile, refinements=1, filter_broadcast=True)
+
+    def update(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        if self._window_low is None or self._state is None:
+            raise ProtocolError("update() called before initialize()")
+        k = self.rank(net)
+        new_state = self._positions(net, values)
+        self._validate(net, new_state)
+        self._state = new_state
+
+        refinements = 0
+        while True:
+            inside = sum(self._cells)
+            if self._below < k <= self._below + inside:
+                target = k - self._below - 1
+                cell, _ = _locate_bucket(tuple(self._cells), target)
+                quantile = self._window_low + cell
+                self.current_quantile = quantile
+                return RoundOutcome(quantile=quantile, refinements=refinements)
+            if k <= self._below:
+                self._slip(net, values, leftward=True)
+            else:
+                self._slip(net, values, leftward=False)
+            refinements += 1
+
+    # -- internals ------------------------------------------------------------
+
+    def _slip(self, net: TreeNetwork, values: np.ndarray, leftward: bool) -> None:
+        """Move the window one window-width toward the rank-k value."""
+        assert self._window_low is not None
+        # Windows tile contiguously (slip distance == window width), which
+        # keeps the boundary-counter arithmetic exact; windows beyond the
+        # universe are harmless because no measurement can fall there.
+        old_sum = sum(self._cells)
+        if leftward:
+            new_low = self._window_low - self.window_cells
+        else:
+            new_low = self._window_low + self.window_cells
+
+        net.phase = "refinement"
+        net.broadcast(2 * VALUE_BITS)  # slip request: the new window bounds
+        new_cells = list(self._collect_window(net, values, new_low))
+        new_sum = sum(new_cells)
+        if leftward:
+            self._above += old_sum
+            self._below -= new_sum
+        else:
+            self._below += old_sum
+            self._above -= new_sum
+        if self._below < 0 or self._above < 0:
+            raise ProtocolError("slip produced negative boundary counts")
+        self._window_low = new_low
+        self._cells = new_cells
+        # Window moved: refresh the registration baseline.
+        self._state = self._positions(net, values)
+
+    def _validate(self, net: TreeNetwork, new_state: np.ndarray) -> None:
+        assert self._state is not None
+        contributions: dict[int, BucketDeltaPayload] = {}
+        for vertex in np.flatnonzero(self._state != new_state):
+            vertex = int(vertex)
+            old, new = int(self._state[vertex]), int(new_state[vertex])
+            deltas: dict[tuple[int, int], int] = {}
+            for position, delta in ((old, -1), (new, +1)):
+                key = self._delta_key(position)
+                deltas[key] = deltas.get(key, 0) + delta
+            pruned = {key: d for key, d in deltas.items() if d != 0}
+            if pruned:
+                contributions[vertex] = BucketDeltaPayload(
+                    deltas=tuple(sorted(pruned.items()))
+                )
+        net.phase = "validation"
+        merged = net.convergecast(contributions)
+        if merged is None:
+            return
+        for (level, index), delta in merged.as_dict().items():
+            if level == _REGION_LEVEL:
+                if index == _BELOW:
+                    self._below += delta
+                else:
+                    self._above += delta
+            else:
+                self._cells[index] += delta
+                if self._cells[index] < 0:
+                    raise ProtocolError(f"negative count in window cell {index}")
+        if self._below < 0 or self._above < 0:
+            raise ProtocolError("validation produced negative boundary counts")
+
+    def _delta_key(self, position: int) -> tuple[int, int]:
+        if position == -1:
+            return (_REGION_LEVEL, _BELOW)
+        if position == self.window_cells:
+            return (_REGION_LEVEL, _ABOVE)
+        return (0, position)
+
+    def _positions(self, net: TreeNetwork, values: np.ndarray) -> np.ndarray:
+        """Window position of every vertex: -1 below, cell index, or ``cells``."""
+        assert self._window_low is not None
+        if self._mask is None:
+            self._mask = sensor_mask(net)
+        values = np.asarray(values)
+        low, high = self._window_low, self._window_high
+        state = (values - low).astype(np.int32)
+        state[values < low] = -1
+        state[values > high] = self.window_cells
+        state[~self._mask] = -1
+        return state
+
+    def _collect_window(
+        self, net: TreeNetwork, values: np.ndarray, window_low: int
+    ) -> tuple[int, ...]:
+        """One-hot cell histograms from nodes inside the (new) window."""
+        if self._mask is None:
+            self._mask = sensor_mask(net)
+        values = np.asarray(values)
+        window_high = window_low + self.window_cells - 1
+        inside = self._mask & (values >= window_low) & (values <= window_high)
+        contributions: dict[int, HistogramPayload] = {}
+        for vertex in np.flatnonzero(inside):
+            vertex = int(vertex)
+            counts = [0] * self.window_cells
+            counts[int(values[vertex]) - window_low] = 1
+            contributions[vertex] = HistogramPayload(counts=tuple(counts))
+        merged = net.convergecast(contributions)
+        if merged is None:
+            return (0,) * self.window_cells
+        return merged.counts
+
+
+def _locate_bucket(counts: tuple[int, ...] | list[int], target: int) -> tuple[int, int]:
+    """Bucket index containing 0-based rank ``target`` and the count before it."""
+    skipped = 0
+    for index, count in enumerate(counts):
+        if target < skipped + count:
+            return index, skipped
+        skipped += count
+    raise ProtocolError(f"rank {target} beyond histogram total {skipped}")

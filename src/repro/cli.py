@@ -1,0 +1,196 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands:
+
+* ``run``     — one configuration, all algorithms, comparison table.
+* ``sweep``   — one figure's parameter sweep (Figures 6-9).
+* ``pressure``— the air-pressure sampling-rate sweep (Figure 10).
+* ``xi-trace``— IQ's Ξ trace (Figure 4) as a text chart.
+* ``loss``    — the message-loss rank-error study (future work, Section 6).
+* ``report``  — regenerate the whole evaluation as one markdown document.
+
+Examples::
+
+    python -m repro run --nodes 200 --rounds 60
+    python -m repro sweep period --scale 0.2
+    python -m repro pressure --pessimistic
+    python -m repro xi-trace --rounds 125
+    python -m repro loss --rates 0 0.05 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.config import ExperimentConfig, default_algorithms
+from repro.experiments.figures import fig4_xi_trace
+from repro.experiments.report import format_comparison, format_sweep_table
+from repro.experiments.runner import run_synthetic_experiment
+from repro.experiments.sweeps import SWEEP_VARIABLES, sweep, sweep_pressure
+from repro.extensions.loss import run_loss_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Continuous quantile queries in WSNs (EDBT 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one configuration, all algorithms")
+    run.add_argument("--nodes", type=int, default=150)
+    run.add_argument("--rounds", type=int, default=60)
+    run.add_argument("--runs", type=int, default=3)
+    run.add_argument("--period", type=int, default=60)
+    run.add_argument("--noise", type=float, default=5.0)
+    run.add_argument("--range", type=float, default=35.0, dest="radio_range")
+    run.add_argument("--phi", type=float, default=0.5)
+    run.add_argument("--seed", type=int, default=20140324)
+
+    sweep_cmd = sub.add_parser("sweep", help="one figure's parameter sweep")
+    sweep_cmd.add_argument("variable", choices=sorted(SWEEP_VARIABLES))
+    sweep_cmd.add_argument("--scale", type=float, default=None)
+    sweep_cmd.add_argument(
+        "--metric",
+        choices=("max_energy_mj", "lifetime_rounds", "refinements_per_round"),
+        default="max_energy_mj",
+    )
+    sweep_cmd.add_argument(
+        "--chart", action="store_true", help="append an ASCII chart"
+    )
+
+    pressure = sub.add_parser("pressure", help="Figure 10 sampling-rate sweep")
+    pressure.add_argument("--pessimistic", action="store_true")
+    pressure.add_argument("--scale", type=float, default=None)
+
+    xi = sub.add_parser("xi-trace", help="Figure 4: IQ's band over time")
+    xi.add_argument("--rounds", type=int, default=125)
+    xi.add_argument("--nodes", type=int, default=200)
+
+    loss = sub.add_parser("loss", help="rank error under message loss")
+    loss.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.05, 0.1, 0.2]
+    )
+    loss.add_argument("--nodes", type=int, default=100)
+    loss.add_argument("--rounds", type=int, default=60)
+
+    report = sub.add_parser(
+        "report", help="regenerate the paper's full evaluation as markdown"
+    )
+    report.add_argument("--out", type=str, default=None)
+    report.add_argument("--scale", type=float, default=None)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "run":
+        config = ExperimentConfig(
+            num_nodes=args.nodes,
+            rounds=args.rounds,
+            runs=args.runs,
+            period=args.period,
+            noise_percent=args.noise,
+            radio_range=args.radio_range,
+            phi=args.phi,
+            seed=args.seed,
+        )
+        metrics = run_synthetic_experiment(config, default_algorithms())
+        print(
+            format_comparison(
+                metrics,
+                title=(
+                    f"synthetic: {config.num_nodes} nodes, "
+                    f"{config.rounds} rounds x {config.runs} runs, "
+                    f"tau={config.period}, psi={config.noise_percent}%"
+                ),
+            )
+        )
+        return 0
+
+    if command == "sweep":
+        result = sweep(args.variable, scale=args.scale)
+        print(format_sweep_table(result, metric=args.metric))
+        if args.chart:
+            from repro.experiments.report import METRICS
+            from repro.viz.ascii import render_series
+
+            getter = METRICS[args.metric]
+            series = {
+                name: [getter(point) for point in points]
+                for name, points in result.series.items()
+            }
+            print()
+            print(
+                render_series(
+                    result.xs,
+                    series,
+                    title=f"{args.metric} vs {args.variable}",
+                )
+            )
+        return 0
+
+    if command == "pressure":
+        result = sweep_pressure(pessimistic=args.pessimistic, scale=args.scale)
+        label = "pessimistic" if args.pessimistic else "optimistic"
+        print(
+            format_sweep_table(
+                result, title=f"air pressure ({label} range scaling)"
+            )
+        )
+        return 0
+
+    if command == "xi-trace":
+        trace = fig4_xi_trace(num_rounds=args.rounds, num_nodes=args.nodes)
+        from repro.viz.ascii import render_xi_trace
+
+        print(render_xi_trace(trace.rounds))
+        print(
+            f"band-contains-next-quantile ratio: "
+            f"{trace.band_contains_next_quantile_ratio:.3f}"
+        )
+        return 0
+
+    if command == "report":
+        from repro.experiments.paper import generate_report
+
+        result = generate_report(scale=args.scale)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(result.markdown)
+            print(f"report written to {args.out}")
+        else:
+            print(result.markdown)
+        return 0
+
+    if command == "loss":
+        result = run_loss_experiment(
+            default_algorithms(),
+            loss_probabilities=tuple(args.rates),
+            num_nodes=args.nodes,
+            num_rounds=args.rounds,
+        )
+        print(
+            f"{'algorithm':10s} {'loss':>5s} {'exact':>7s} "
+            f"{'rank-err':>9s} {'value-err':>10s} {'failures':>9s}"
+        )
+        for name in sorted({p.algorithm for p in result.points}):
+            for point in result.series(name):
+                print(
+                    f"{name:10s} {point.loss_probability:5.2f} "
+                    f"{point.exact_fraction:7.2f} {point.mean_rank_error:9.2f} "
+                    f"{point.mean_value_error:10.2f} {point.failure_rate:9.2f}"
+                )
+        return 0
+
+    raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

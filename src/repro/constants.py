@@ -1,0 +1,82 @@
+"""Physical and protocol constants used throughout the simulator.
+
+The values mirror Section 5.1.4 of the paper (which in turn simplifies the
+IEEE 802.15.4 standard and the first-order radio model of [11]).  The paper
+prints the distance-independent radio constant as ``50 mJ/bit``; that is a
+unit typo — with a 30 mJ battery a single message would kill a node — so we
+use the standard ``50 nJ/bit`` of the first-order radio model, which yields
+lifetimes in the range the paper plots.  See DESIGN.md section 3.
+"""
+
+from __future__ import annotations
+
+# --- Radio energy model ----------------------------------------------------
+
+#: Distance-independent cost of transmitting one bit [J/bit] (50 nJ/bit).
+ALPHA_J_PER_BIT: float = 50e-9
+
+#: Distance-dependent transmit amplifier cost [J/bit/m^p] (10 pJ/bit/m^2).
+BETA_J_PER_BIT_M2: float = 10e-12
+
+#: Path-loss exponent used by the cost function ``s * (alpha + beta * rho**p)``.
+PATH_LOSS_EXPONENT: float = 2.0
+
+#: Cost of receiving one bit [J/bit] (50 nJ/bit).
+RECV_J_PER_BIT: float = 50e-9
+
+#: Initial per-node energy supply [J] (30 mJ, Section 5.1.4).
+INITIAL_ENERGY_J: float = 30e-3
+
+# --- Message format ---------------------------------------------------------
+
+#: Message header + footer size [bits] (16 bytes, Section 5.1.4).
+HEADER_BITS: int = 16 * 8
+
+#: Maximum payload of a single message [bits] (128 bytes, Section 5.1.4).
+MAX_PAYLOAD_BITS: int = 128 * 8
+
+#: Size of one sensor measurement [bits] (two-byte integers, Section 5.1.6).
+VALUE_BITS: int = 16
+
+#: Size of one counter field in validation messages [bits].
+COUNTER_BITS: int = 16
+
+#: Size of one histogram bucket count [bits].
+BUCKET_COUNT_BITS: int = 16
+
+#: Size of a bucket identifier when histograms are compressed [bits].
+BUCKET_ID_BITS: int = 8
+
+#: Size of one refinement-request payload [bits]: an interval (two values)
+#: plus a small request descriptor.
+REFINEMENT_REQUEST_BITS: int = 2 * VALUE_BITS + 8
+
+#: Number of two-byte measurements that fit into a single maximum payload.
+VALUES_PER_MESSAGE: int = MAX_PAYLOAD_BITS // VALUE_BITS
+
+# --- Simulation defaults (Table 2 / Section 5.1.7) --------------------------
+
+#: Side length of the square deployment area [m].
+AREA_SIDE_M: float = 200.0
+
+#: Default number of nodes.
+DEFAULT_NUM_NODES: int = 500
+
+#: Default radio range [m].
+DEFAULT_RADIO_RANGE_M: float = 35.0
+
+#: Default sinusoid period [rounds].
+DEFAULT_PERIOD_ROUNDS: int = 125
+
+#: Default noise magnitude [percent of the value range].
+DEFAULT_NOISE_PERCENT: float = 5.0
+
+#: Number of rounds per simulation run (Section 5.1.7).
+DEFAULT_ROUNDS: int = 250
+
+#: Number of simulation runs averaged per configuration (Section 5.1.7).
+DEFAULT_RUNS: int = 20
+
+#: Default integer measurement range (two-byte unsigned values).
+DEFAULT_RANGE_MIN: int = 0
+DEFAULT_RANGE_MAX: int = 1023

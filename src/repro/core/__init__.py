@@ -1,0 +1,22 @@
+"""The paper's primary contributions: cost-model HBC and heuristic IQ."""
+
+from repro.core.base import ContinuousQuantileAlgorithm, RootCounters
+from repro.core.cost_model import (
+    exact_optimal_buckets,
+    optimal_buckets,
+    refinement_cost_bits,
+)
+from repro.core.hbc import HBC
+from repro.core.iq import IQ
+from repro.core.xi import XiTracker
+
+__all__ = [
+    "HBC",
+    "IQ",
+    "ContinuousQuantileAlgorithm",
+    "RootCounters",
+    "XiTracker",
+    "exact_optimal_buckets",
+    "optimal_buckets",
+    "refinement_cost_bits",
+]

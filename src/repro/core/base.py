@@ -1,0 +1,253 @@
+"""Common machinery for continuous quantile algorithms.
+
+POS, HBC and IQ all share the same skeleton (Sections 3.2, 4.1, 4.2):
+
+1. an initialization round that computes the first quantile with TAG-style
+   aggregation and seeds the root's ``(l, e, g)`` counters;
+2. a validation convergecast at the start of every round, carrying interval
+   transition counters (and hints, and for IQ the multiset ``A``);
+3. zero or more refinement exchanges;
+4. an optional filter broadcast.
+
+This module provides the counter bookkeeping, the validation construction,
+the shared TAG initialization and the abstract driver interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import VALUE_BITS
+from repro.core.payloads import ValidationPayload, ValueSetPayload
+from repro.errors import ProtocolError
+from repro.sim.engine import TreeNetwork
+from repro.sim.oracle import quantile_rank
+from repro.types import QuerySpec, RoundOutcome
+
+#: Interval labels relative to a filter value: below, equal, above.
+LT, EQ, GT = -1, 0, 1
+
+
+def classify(value: int, filter_value: int) -> int:
+    """Which filter interval (``LT``/``EQ``/``GT``) ``value`` falls into."""
+    if value < filter_value:
+        return LT
+    if value > filter_value:
+        return GT
+    return EQ
+
+
+def classify_interval(value: int, low: int, high: int) -> int:
+    """Like :func:`classify` but against an interval filter ``[low, high]``.
+
+    Used by HBC's Section 4.1.2 extension, where nodes filter against the
+    bounds of the last refinement request instead of a single value.
+    """
+    if value < low:
+        return LT
+    if value > high:
+        return GT
+    return EQ
+
+
+def sensor_mask(net: TreeNetwork) -> np.ndarray:
+    """Boolean mask over vertices selecting the measuring nodes."""
+    mask = np.ones(net.tree.num_vertices, dtype=bool)
+    mask[net.tree.root] = False
+    for relay in net.tree.relays:
+        mask[relay] = False
+    return mask
+
+
+def classify_array(
+    values: np.ndarray, low: int, high: int | None, mask: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`classify_interval` over all vertices.
+
+    ``high=None`` means a point filter at ``low``.  Non-sensor vertices
+    (root, relays) are pinned to ``EQ`` so their entries never register as
+    state changes.
+    """
+    upper = low if high is None else high
+    state = np.zeros(len(values), dtype=np.int8)
+    state[values < low] = LT
+    state[values > upper] = GT
+    state[~mask] = EQ
+    return state
+
+
+@dataclass
+class RootCounters:
+    """The root's state: counts of values below/at/above the filter.
+
+    ``l``/``e``/``g`` count current measurements ``< f``, ``== f`` and
+    ``> f`` where ``f`` is the current filter value (or interval).  The root
+    updates them from validation counters and re-derives them after every
+    refinement.
+    """
+
+    l: int
+    e: int
+    g: int
+
+    @property
+    def total(self) -> int:
+        """Total number of accounted measurements."""
+        return self.l + self.e + self.g
+
+    def apply_validation(self, payload: ValidationPayload) -> None:
+        """Fold a merged validation payload into the counters (Section 3.2)."""
+        total = self.total
+        self.l += payload.into_lt - payload.outof_lt
+        self.g += payload.into_gt - payload.outof_gt
+        self.e = total - self.l - self.g
+        if min(self.l, self.e, self.g) < 0:
+            raise ProtocolError(
+                f"counter update produced negative counts: l={self.l} "
+                f"e={self.e} g={self.g}"
+            )
+
+    def position_of_rank(self, k: int) -> int:
+        """Where rank ``k`` sits relative to the filter: ``LT``/``EQ``/``GT``."""
+        if not 1 <= k <= self.total:
+            raise ProtocolError(f"rank {k} out of range for {self.total} values")
+        if self.l >= k:
+            return LT
+        if self.l + self.e >= k:
+            return EQ
+        return GT
+
+    def is_valid(self, k: int) -> bool:
+        """True iff the filter value is still the exact k-th value."""
+        return self.position_of_rank(k) == EQ
+
+
+def build_validation(
+    net: TreeNetwork,
+    values: np.ndarray,
+    old_state: np.ndarray,
+    new_state: np.ndarray,
+    hint_values: int,
+) -> dict[int, ValidationPayload]:
+    """Per-node validation contributions for one round.
+
+    Args:
+        net: the network (provides the sensor-node set).
+        values: current measurements, indexed by vertex.
+        old_state: per-vertex interval label from the previous round.
+        new_state: per-vertex interval label for the current value.
+        hint_values: how many hint values the payload is charged for
+            (2 for POS's two-sided hints, 1 for the max-difference variant).
+
+    A node contributes iff its interval label changed; the contribution
+    carries the transition counters and the node's current value as a hint.
+    Non-sensor vertices are pinned to ``EQ`` by :func:`classify_array`, so
+    scanning the changed entries alone suffices.
+    """
+    contributions: dict[int, ValidationPayload] = {}
+    for vertex in np.flatnonzero(old_state != new_state):
+        vertex = int(vertex)
+        old, new = int(old_state[vertex]), int(new_state[vertex])
+        value = int(values[vertex])
+        contributions[vertex] = ValidationPayload(
+            into_lt=1 if new == LT else 0,
+            outof_lt=1 if old == LT else 0,
+            into_gt=1 if new == GT else 0,
+            outof_gt=1 if old == GT else 0,
+            hint_min=value,
+            hint_max=value,
+            hint_values=hint_values,
+        )
+    return contributions
+
+
+def hint_bounds(
+    payload: ValidationPayload | None,
+    filter_low: int,
+    filter_high: int,
+    spec: QuerySpec,
+    symmetric: bool,
+) -> tuple[int, int]:
+    """Refinement bounds the root may derive from validation hints.
+
+    Returns ``(low, high)`` such that the new quantile is guaranteed to lie
+    in ``[low, high]``.  Without any hint the universe bounds apply.  With
+    ``symmetric`` (the Section 5.1.6 max-difference variant used by HBC and
+    IQ) a single transmitted value — the maximum absolute difference to the
+    old filter — yields the interval ``[f_lo - d, f_hi + d]``.
+    """
+    if payload is None or not payload.has_hint:
+        return spec.r_min, spec.r_max
+    assert payload.hint_min is not None and payload.hint_max is not None
+    if symmetric:
+        diff = max(filter_low - payload.hint_min, payload.hint_max - filter_high, 0)
+        low, high = filter_low - diff, filter_high + diff
+    else:
+        low = min(payload.hint_min, filter_low)
+        high = max(payload.hint_max, filter_high)
+    return max(low, spec.r_min), min(high, spec.r_max)
+
+
+class ContinuousQuantileAlgorithm(ABC):
+    """Driver interface for continuous quantile algorithms.
+
+    Subclasses implement :meth:`initialize` (round 0) and :meth:`update`
+    (rounds 1..T-1).  All radio traffic must flow through the
+    :class:`~repro.sim.TreeNetwork` primitives so that energy accounting is
+    complete.  ``values`` arrays are indexed by vertex id; the entry at the
+    root index is ignored.
+    """
+
+    #: Short identifier used in result tables ("TAG", "POS", "HBC", ...).
+    name: str = "?"
+
+    def __init__(self, spec: QuerySpec) -> None:
+        self.spec = spec
+        self.current_quantile: int | None = None
+
+    def rank(self, net: TreeNetwork) -> int:
+        """The queried rank ``k`` for this network size."""
+        return quantile_rank(net.num_sensor_nodes, self.spec.phi)
+
+    @abstractmethod
+    def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        """Run the initialization round and return its outcome."""
+
+    @abstractmethod
+    def update(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        """Run one continuous update round and return its outcome."""
+
+
+def tag_initialization(
+    net: TreeNetwork, values: np.ndarray, k: int
+) -> tuple[int, RootCounters, tuple[int, ...]]:
+    """TAG-style first round shared by POS, HBC and IQ (Sections 3.2, 4.2.1).
+
+    The root disseminates ``k`` (one broadcast), then every node's value is
+    aggregated up the tree, with intermediate vertices forwarding only the
+    ``k`` smallest values of their subtree (plus ties of the k-th, so the
+    root can count duplicates of the quantile exactly).
+
+    Returns the quantile, the seeded root counters and the ascending tuple
+    of the ``k`` smallest values (IQ uses it to initialize Ξ).
+    """
+    net.phase = "initialization"
+    net.broadcast(VALUE_BITS)  # query dissemination: k
+    contributions = {
+        vertex: ValueSetPayload(values=(int(values[vertex]),), keep=k)
+        for vertex in net.tree.sensor_nodes
+    }
+    merged = net.convergecast(contributions)
+    if merged is None or len(merged.values) < k:
+        raise ProtocolError("TAG initialization did not deliver k values")
+    smallest = merged.values
+    quantile = smallest[k - 1]
+    less = sum(1 for value in smallest if value < quantile)
+    equal = sum(1 for value in smallest if value == quantile)
+    counters = RootCounters(
+        l=less, e=equal, g=net.num_sensor_nodes - less - equal
+    )
+    return quantile, counters, smallest

@@ -1,0 +1,135 @@
+"""Cost model for the optimal number of histogram buckets ([21], Section 4.1).
+
+A histogram-based refinement narrows an interval of ``tau`` candidate values
+by a factor of ``b`` per iteration, so it needs ``log_b(tau)`` iterations.
+Per iteration a hotspot node near the root pays for one refinement-request
+broadcast (header + request payload) and one histogram transmission (header
++ ``b`` bucket counts):
+
+    C(b) = log_b(tau) * (c0 + b * s_b),   c0 = 2 * s_h + s_r.
+
+Treating ``b`` as continuous and differentiating gives the stationarity
+condition ``b (ln b - 1) = c0 / s_b``; substituting ``b = e^(u+1)`` turns it
+into ``u e^u = c0 / (e s_b)``, i.e.
+
+    b_opt = exp(1 + W(c0 / (e * s_b)))
+
+with ``W`` the Lambert W function — the closed form the paper's cost model
+refers to.  Notably ``b_opt`` does not depend on ``tau``: the interval size
+scales the total cost but not where its minimum lies.
+
+:func:`exact_optimal_buckets` additionally minimizes the *discrete* cost
+(with the ceiling on the iteration count), which [21] calls the exact
+solution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import (
+    BUCKET_COUNT_BITS,
+    HEADER_BITS,
+    REFINEMENT_REQUEST_BITS,
+)
+from repro.errors import ConfigurationError
+
+
+def lambert_w(x: float, tolerance: float = 1e-12, max_iterations: int = 100) -> float:
+    """Principal branch of the Lambert W function for ``x >= 0``.
+
+    Solves ``w * exp(w) = x`` by Halley's method from a log-based initial
+    guess.  Implemented locally (rather than via SciPy) so the core library
+    has no hard SciPy dependency; the test suite cross-checks against
+    ``scipy.special.lambertw``.
+    """
+    if x < 0:
+        raise ConfigurationError(f"lambert_w is implemented for x >= 0, got {x}")
+    if x == 0.0:
+        return 0.0
+    w = math.log1p(x) if x < math.e else math.log(x) - math.log(math.log(x))
+    w = max(w, 1e-12)
+    for _ in range(max_iterations):
+        exp_w = math.exp(w)
+        f = w * exp_w - x
+        denominator = exp_w * (w + 1) - (w + 2) * f / (2 * w + 2)
+        step = f / denominator
+        w -= step
+        if abs(step) <= tolerance * (1 + abs(w)):
+            return w
+    raise ConfigurationError(f"lambert_w did not converge for x={x}")
+
+
+def optimal_buckets(
+    header_bits: int = HEADER_BITS,
+    request_bits: int = REFINEMENT_REQUEST_BITS,
+    bucket_bits: int = BUCKET_COUNT_BITS,
+) -> float:
+    """Continuous optimum ``b_opt = exp(1 + W(c0 / (e s_b)))`` (see module doc)."""
+    _check_sizes(header_bits, request_bits, bucket_bits)
+    c0 = 2 * header_bits + request_bits
+    return math.exp(1.0 + lambert_w(c0 / (math.e * bucket_bits)))
+
+
+def refinement_cost_bits(
+    num_buckets: int,
+    universe_size: int,
+    header_bits: int = HEADER_BITS,
+    request_bits: int = REFINEMENT_REQUEST_BITS,
+    bucket_bits: int = BUCKET_COUNT_BITS,
+) -> float:
+    """Discrete hotspot cost [bits] of fully refining ``universe_size`` values.
+
+    ``ceil(log_b(tau))`` iterations, each paying request + histogram.  For
+    ``universe_size == 1`` no refinement is needed and the cost is zero.
+    """
+    _check_sizes(header_bits, request_bits, bucket_bits)
+    if num_buckets < 2:
+        raise ConfigurationError(f"need at least 2 buckets, got {num_buckets}")
+    if universe_size < 1:
+        raise ConfigurationError(f"universe_size must be >= 1, got {universe_size}")
+    if universe_size == 1:
+        return 0.0
+    iterations = math.ceil(math.log(universe_size) / math.log(num_buckets))
+    per_iteration = 2 * header_bits + request_bits + num_buckets * bucket_bits
+    return iterations * per_iteration
+
+
+def exact_optimal_buckets(
+    universe_size: int,
+    header_bits: int = HEADER_BITS,
+    request_bits: int = REFINEMENT_REQUEST_BITS,
+    bucket_bits: int = BUCKET_COUNT_BITS,
+    max_buckets: int = 4096,
+) -> int:
+    """Integer ``b`` minimizing the discrete refinement cost ([21]'s exact form).
+
+    Ties are broken toward fewer buckets (smaller histograms).
+    """
+    if universe_size < 2:
+        return 2
+    search_limit = min(max_buckets, universe_size)
+    best_b, best_cost = 2, math.inf
+    for b in range(2, max(search_limit, 2) + 1):
+        cost = refinement_cost_bits(
+            b, universe_size, header_bits, request_bits, bucket_bits
+        )
+        if cost < best_cost:
+            best_b, best_cost = b, cost
+    return best_b
+
+
+def rounded_optimal_buckets(
+    header_bits: int = HEADER_BITS,
+    request_bits: int = REFINEMENT_REQUEST_BITS,
+    bucket_bits: int = BUCKET_COUNT_BITS,
+) -> int:
+    """The continuous optimum rounded to the nearest feasible integer (>= 2)."""
+    return max(2, round(optimal_buckets(header_bits, request_bits, bucket_bits)))
+
+
+def _check_sizes(header_bits: int, request_bits: int, bucket_bits: int) -> None:
+    if header_bits < 0 or request_bits < 0:
+        raise ConfigurationError("header/request sizes must be >= 0")
+    if bucket_bits <= 0:
+        raise ConfigurationError(f"bucket_bits must be positive, got {bucket_bits}")

@@ -1,0 +1,372 @@
+"""IQ: Interval-based Quantiles, the paper's heuristic algorithm (Section 4.2).
+
+IQ avoids iterative refinement altogether by having nodes transmit their raw
+value during validation whenever it falls into the adaptive band Ξ around
+the last quantile.  If the new quantile lies inside Ξ the root reads it off
+the received multiset ``A`` with pure rank arithmetic; otherwise a single
+refinement convergecast fetches exactly the ``f`` extreme values needed
+(pruned in-network, ties of the boundary kept so duplicates are handled
+exactly).  Every round therefore finishes after at most two convergecasts —
+the property the paper trades the ``O(|N|)`` worst case for.
+
+Rank bookkeeping (Figure 3 of the paper):
+
+* ``a`` / ``b``: values of ``A`` below / above the old quantile ``f``;
+* ``L = l - a``: values strictly below Ξ's lower edge;
+* ``U = l + e + b``: values at or below Ξ's upper edge.
+
+Downward rounds: the quantile is ``A[k - L - 1]`` when ``L < k``; otherwise
+the root requests the ``f1 = L - k + 1`` largest values below Ξ.  Upward
+rounds mirror this with ``f2 = k - U`` smallest values above Ξ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import COUNTER_BITS, REFINEMENT_REQUEST_BITS, VALUE_BITS
+from repro.core.base import (
+    EQ,
+    GT,
+    ContinuousQuantileAlgorithm,
+    RootCounters,
+    classify_array,
+    hint_bounds,
+    sensor_mask,
+    tag_initialization,
+)
+from repro.core.payloads import ValidationPayload, ValueSetPayload
+from repro.core.xi import InitPolicy, XiTracker, initial_xi
+from repro.errors import ProtocolError
+from repro.sim.engine import TreeNetwork
+from repro.types import IQDiagnostics, QuerySpec, RoundOutcome
+
+
+class IQ(ContinuousQuantileAlgorithm):
+    """Interval-based Quantiles.
+
+    Args:
+        spec: the quantile query and measurement universe.
+        window: number of recent quantiles ``m`` driving Ξ adaptation.
+        xi_init: seeding policy for Ξ (Section 4.2.1).
+        xi_scale: the constant ``c`` of the seeding formula.
+        use_hints: bound refinement responders with the max-difference hint
+            (Section 5.1.6); disabling it reproduces plain [19]-style
+            refinement over the unbounded interval.
+        record_diagnostics: keep a per-round :class:`IQDiagnostics` trace
+            (used to regenerate Figure 4).
+    """
+
+    name = "IQ"
+
+    def __init__(
+        self,
+        spec: QuerySpec,
+        window: int = 6,
+        xi_init: InitPolicy = "mean_gap",
+        xi_scale: float = 2.0,
+        use_hints: bool = True,
+        record_diagnostics: bool = False,
+    ) -> None:
+        super().__init__(spec)
+        self.window = window
+        self.xi_init: InitPolicy = xi_init
+        self.xi_scale = xi_scale
+        self.use_hints = use_hints
+        self.record_diagnostics = record_diagnostics
+        self.diagnostics: list[IQDiagnostics] = []
+        self._tracker: XiTracker | None = None
+        self._counters: RootCounters | None = None
+        self._state: np.ndarray | None = None
+        self._mask: np.ndarray | None = None
+
+    # -- rounds ---------------------------------------------------------------
+
+    def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        k = self.rank(net)
+        quantile, counters, smallest = tag_initialization(net, values, k)
+        xi_seed = initial_xi(smallest, policy=self.xi_init, scale=self.xi_scale)
+        net.phase = "filter"
+        net.broadcast(2 * VALUE_BITS)  # filter broadcast: (v_k, xi)
+        self._tracker = XiTracker(quantile, xi_seed, window=self.window)
+        self._counters = counters
+        self._state = self._classify_all(net, values, quantile)
+        self.current_quantile = quantile
+        self._record(net, values, quantile, refined=False)
+        return RoundOutcome(quantile=quantile, filter_broadcast=True)
+
+    def update(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        if self._tracker is None or self._counters is None or self._state is None:
+            raise ProtocolError("update() called before initialize()")
+        k = self.rank(net)
+        old_quantile = self._tracker.current_quantile
+        band_low, band_high = self._tracker.band()
+
+        merged = self._validation(net, values, old_quantile, band_low, band_high)
+        if merged is not None:
+            self._counters.apply_validation(merged)
+        counters = self._counters
+        received_a = merged.values if merged is not None else ()
+
+        position = counters.position_of_rank(k)
+        if position == EQ:
+            quantile = old_quantile
+            outcome = RoundOutcome(quantile=quantile)
+            refined = False
+        elif position == GT:
+            quantile, refined = self._resolve_up(
+                net, values, k, old_quantile, band_high, received_a, merged
+            )
+            outcome = self._broadcast_filter(quantile, refined)
+        else:
+            quantile, refined = self._resolve_down(
+                net, values, k, old_quantile, band_low, received_a, merged
+            )
+            outcome = self._broadcast_filter(quantile, refined)
+
+        if outcome.filter_broadcast:
+            net.phase = "filter"
+            net.broadcast(VALUE_BITS)
+        self._tracker.observe(quantile)
+        if quantile != old_quantile:
+            self._state = self._classify_all(net, values, quantile)
+        else:
+            self._state = self._classify_all(net, values, old_quantile)
+        self.current_quantile = quantile
+        self._record(net, values, quantile, refined=refined)
+        return outcome
+
+    # -- warm start (adaptive switching, Section 4.2 / DESIGN.md S18) ---------
+
+    def filter_bounds(self) -> tuple[int, int]:
+        """The node-side filter (IQ filters against the quantile value)."""
+        if self._tracker is None:
+            raise ProtocolError("filter_bounds() called before initialize()")
+        quantile = self._tracker.current_quantile
+        return quantile, quantile
+
+    def warm_start(
+        self,
+        net: TreeNetwork,
+        values: np.ndarray,
+        quantile: int,
+        counters: RootCounters,
+        quantile_history: list[int] | None = None,
+    ) -> None:
+        """Adopt state mid-stream; Ξ is re-seeded from the recent history.
+
+        ``quantile_history`` (oldest first, ``quantile`` last) replays the
+        switcher's observed quantiles into a fresh tracker so the band is
+        trend-aware from the first adopted round.
+        """
+        history = list(quantile_history or [quantile])
+        if history[-1] != quantile:
+            history.append(quantile)
+        deltas = [b - a for a, b in zip(history, history[1:])]
+        seed = max(1, max((abs(d) for d in deltas), default=1))
+        self._tracker = XiTracker(history[0], seed, window=self.window)
+        for value in history[1:]:
+            self._tracker.observe(value)
+        self._counters = counters
+        self._state = self._classify_all(net, values, quantile)
+        self.current_quantile = quantile
+
+    # -- validation -----------------------------------------------------------
+
+    def _validation(
+        self,
+        net: TreeNetwork,
+        values: np.ndarray,
+        old_quantile: int,
+        band_low: int,
+        band_high: int,
+    ) -> ValidationPayload | None:
+        """POS-style counters plus the multiset ``A`` of values inside Ξ."""
+        assert self._state is not None
+        if self._mask is None:
+            self._mask = sensor_mask(net)
+        new_state = classify_array(values, old_quantile, None, self._mask)
+        in_band_mask = (
+            self._mask
+            & (values >= band_low)
+            & (values <= band_high)
+            & (values != old_quantile)
+        )
+        net.phase = "validation"
+        relevant = np.flatnonzero((new_state != self._state) | in_band_mask)
+        contributions: dict[int, ValidationPayload] = {}
+        for vertex in relevant:
+            vertex = int(vertex)
+            value = int(values[vertex])
+            old = int(self._state[vertex])
+            new = int(new_state[vertex])
+            changed = old != new
+            in_band = bool(in_band_mask[vertex])
+            contributions[vertex] = ValidationPayload(
+                into_lt=1 if changed and new == -1 else 0,
+                outof_lt=1 if changed and old == -1 else 0,
+                into_gt=1 if changed and new == 1 else 0,
+                outof_gt=1 if changed and old == 1 else 0,
+                hint_min=value if changed else None,
+                hint_max=value if changed else None,
+                hint_values=1,
+                values=(value,) if in_band else (),
+            )
+        return net.convergecast(contributions)
+
+    # -- resolution -----------------------------------------------------------
+
+    def _resolve_down(
+        self,
+        net: TreeNetwork,
+        values: np.ndarray,
+        k: int,
+        old_quantile: int,
+        band_low: int,
+        received_a: tuple[int, ...],
+        merged: ValidationPayload | None,
+    ) -> tuple[int, bool]:
+        """The new quantile lies below the old one (``l >= k``)."""
+        counters = self._counters
+        assert counters is not None
+        a_below = sum(1 for x in received_a if x < old_quantile)
+        below_band = counters.l - a_below  # L: values strictly below Ξ
+        if below_band < k:
+            quantile = received_a[k - below_band - 1]
+            less = below_band + sum(1 for x in received_a if x < quantile)
+            equal = sum(1 for x in received_a if x == quantile)
+            self._counters = RootCounters(
+                l=less, e=equal, g=net.num_sensor_nodes - less - equal
+            )
+            return quantile, False
+
+        fetch = below_band - k + 1  # f1 largest values below the band
+        hint_low, _ = hint_bounds(
+            merged, old_quantile, old_quantile, self.spec, symmetric=True
+        )
+        low_bound = hint_low if self.use_hints else self.spec.r_min
+        received = self._refinement(
+            net, values, low_bound, band_low - 1, fetch, keep_largest=True
+        )
+        if len(received) < fetch:
+            raise ProtocolError(
+                f"downward refinement returned {len(received)} < f1={fetch} values"
+            )
+        quantile = received[len(received) - fetch]
+        less = below_band - len(received)
+        equal = sum(1 for x in received if x == quantile)
+        self._counters = RootCounters(
+            l=less, e=equal, g=net.num_sensor_nodes - less - equal
+        )
+        return quantile, True
+
+    def _resolve_up(
+        self,
+        net: TreeNetwork,
+        values: np.ndarray,
+        k: int,
+        old_quantile: int,
+        band_high: int,
+        received_a: tuple[int, ...],
+        merged: ValidationPayload | None,
+    ) -> tuple[int, bool]:
+        """The new quantile lies above the old one (``l + e < k``)."""
+        counters = self._counters
+        assert counters is not None
+        a_above = sum(1 for x in received_a if x > old_quantile)
+        at_most_band = counters.l + counters.e + a_above  # U: values <= Ξ's top
+        if at_most_band >= k:
+            offset = k - counters.l - counters.e  # rank among A's upper part
+            index = (len(received_a) - a_above) + offset - 1
+            quantile = received_a[index]
+            less = (
+                counters.l
+                + counters.e
+                + sum(1 for x in received_a if old_quantile < x < quantile)
+            )
+            equal = sum(1 for x in received_a if x == quantile)
+            self._counters = RootCounters(
+                l=less, e=equal, g=net.num_sensor_nodes - less - equal
+            )
+            return quantile, False
+
+        fetch = k - at_most_band  # f2 smallest values above the band
+        _, hint_high = hint_bounds(
+            merged, old_quantile, old_quantile, self.spec, symmetric=True
+        )
+        high_bound = hint_high if self.use_hints else self.spec.r_max
+        received = self._refinement(
+            net, values, band_high + 1, high_bound, fetch, keep_largest=False
+        )
+        if len(received) < fetch:
+            raise ProtocolError(
+                f"upward refinement returned {len(received)} < f2={fetch} values"
+            )
+        quantile = received[fetch - 1]
+        less = at_most_band + sum(1 for x in received if x < quantile)
+        equal = sum(1 for x in received if x == quantile)
+        self._counters = RootCounters(
+            l=less, e=equal, g=net.num_sensor_nodes - less - equal
+        )
+        return quantile, True
+
+    def _refinement(
+        self,
+        net: TreeNetwork,
+        values: np.ndarray,
+        low: int,
+        high: int,
+        fetch: int,
+        keep_largest: bool,
+    ) -> tuple[int, ...]:
+        """One pruned value convergecast from the interval ``[low, high]``."""
+        if fetch < 1:
+            raise ProtocolError(f"refinement fetch count must be >= 1, got {fetch}")
+        net.phase = "refinement"
+        net.broadcast(REFINEMENT_REQUEST_BITS + COUNTER_BITS)
+        contributions = {
+            vertex: ValueSetPayload(
+                values=(int(values[vertex]),), keep=fetch, keep_largest=keep_largest
+            )
+            for vertex in net.tree.sensor_nodes
+            if low <= int(values[vertex]) <= high
+        }
+        merged = net.convergecast(contributions)
+        return merged.values if merged is not None else ()
+
+    # -- helpers --------------------------------------------------------------
+
+    def _broadcast_filter(self, quantile: int, refined: bool) -> RoundOutcome:
+        return RoundOutcome(
+            quantile=quantile,
+            refinements=1 if refined else 0,
+            filter_broadcast=True,
+        )
+
+    def _classify_all(
+        self, net: TreeNetwork, values: np.ndarray, filter_value: int
+    ) -> np.ndarray:
+        if self._mask is None:
+            self._mask = sensor_mask(net)
+        return classify_array(values, filter_value, None, self._mask)
+
+    def _record(
+        self, net: TreeNetwork, values: np.ndarray, quantile: int, refined: bool
+    ) -> None:
+        if not self.record_diagnostics:
+            return
+        assert self._tracker is not None
+        band_low, band_high = self._tracker.band()
+        sensor_values = [int(values[v]) for v in net.tree.sensor_nodes]
+        in_band = sum(1 for v in sensor_values if band_low <= v <= band_high)
+        self.diagnostics.append(
+            IQDiagnostics(
+                quantile=quantile,
+                xi_left=self._tracker.xi_left,
+                xi_right=self._tracker.xi_right,
+                values_in_xi=in_band,
+                refined=refined,
+                network_min=min(sensor_values),
+                network_max=max(sensor_values),
+            )
+        )

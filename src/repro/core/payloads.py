@@ -1,0 +1,269 @@
+"""Payload types shared by the quantile algorithms.
+
+Every payload implements :class:`repro.sim.Payload` so the engine can merge
+it in-network and account its size.  Sizes follow Table 1 / Section 5.1.4:
+16-bit measurements and counters, 8-bit bucket identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.constants import (
+    BUCKET_COUNT_BITS,
+    BUCKET_ID_BITS,
+    COUNTER_BITS,
+    VALUE_BITS,
+)
+from repro.errors import ProtocolError
+from repro.sim.engine import Payload
+
+
+def merge_sorted(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    """Merge two ascending tuples into one ascending tuple."""
+    if not a:
+        return b
+    if not b:
+        return a
+    merged: list[int] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            merged.append(a[i])
+            i += 1
+        else:
+            merged.append(b[j])
+            j += 1
+    merged.extend(a[i:])
+    merged.extend(b[j:])
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class ValidationPayload(Payload):
+    """POS-style validation message (Section 3.2), optionally with IQ's A.
+
+    Counters describe filter-interval transitions of node values between two
+    consecutive rounds; intermediate vertices merge them by addition.  The
+    hint fields carry the smallest/largest *current* value among nodes that
+    changed state — the root derives refinement bounds from them.
+
+    ``hint_values`` controls accounting: POS transmits both extreme values
+    (2 values), while HBC and IQ transmit only the maximum absolute
+    difference to the old quantile (1 value, Section 5.1.6).  The semantics
+    here always track both extremes; the root applies the symmetric
+    (one-value) interpretation itself when configured to.
+
+    ``values`` is IQ's multiset ``A`` (ascending); empty for POS and HBC.
+    """
+
+    into_lt: int = 0
+    outof_lt: int = 0
+    into_gt: int = 0
+    outof_gt: int = 0
+    hint_min: int | None = None
+    hint_max: int | None = None
+    hint_values: int = 2
+    values: tuple[int, ...] = ()
+
+    def merged_with(self, other: "ValidationPayload") -> "ValidationPayload":
+        return ValidationPayload(
+            into_lt=self.into_lt + other.into_lt,
+            outof_lt=self.outof_lt + other.outof_lt,
+            into_gt=self.into_gt + other.into_gt,
+            outof_gt=self.outof_gt + other.outof_gt,
+            hint_min=_opt_min(self.hint_min, other.hint_min),
+            hint_max=_opt_max(self.hint_max, other.hint_max),
+            hint_values=max(self.hint_values, other.hint_values),
+            values=merge_sorted(self.values, other.values),
+        )
+
+    def payload_bits(self) -> int:
+        hint_bits = self.hint_values * VALUE_BITS if self.has_hint else 0
+        return 4 * COUNTER_BITS + hint_bits + len(self.values) * VALUE_BITS
+
+    def num_values(self) -> int:
+        return len(self.values)
+
+    def is_empty(self) -> bool:
+        return (
+            self.into_lt == 0
+            and self.outof_lt == 0
+            and self.into_gt == 0
+            and self.outof_gt == 0
+            and not self.values
+            and not self.has_hint
+        )
+
+    @property
+    def has_hint(self) -> bool:
+        """True when at least one node contributed a hint value."""
+        return self.hint_min is not None
+
+
+@dataclass(frozen=True)
+class ValueSetPayload(Payload):
+    """A multiset of raw measurements, optionally pruned in-network.
+
+    ``keep`` limits the set to the ``keep`` smallest (``keep_largest=False``)
+    or largest values *while keeping ties of the boundary value* — IQ's
+    refinement responses need the ties to handle duplicate measurements
+    exactly (Section 4.2.2).  ``keep=None`` forwards everything (TAG-style
+    direct value requests).
+    """
+
+    values: tuple[int, ...] = ()
+    keep: int | None = None
+    keep_largest: bool = False
+
+    def merged_with(self, other: "ValueSetPayload") -> "ValueSetPayload":
+        if (self.keep, self.keep_largest) != (other.keep, other.keep_largest):
+            raise ProtocolError("cannot merge value sets with different pruning")
+        merged = merge_sorted(self.values, other.values)
+        return replace(self, values=prune_with_ties(merged, self.keep, self.keep_largest))
+
+    def payload_bits(self) -> int:
+        return len(self.values) * VALUE_BITS
+
+    def num_values(self) -> int:
+        return len(self.values)
+
+    def is_empty(self) -> bool:
+        return not self.values
+
+
+def prune_with_ties(
+    ascending: tuple[int, ...], keep: int | None, keep_largest: bool
+) -> tuple[int, ...]:
+    """Prune an ascending tuple to ``keep`` extreme values, keeping ties.
+
+    With ``keep_largest`` the result is the ``keep`` largest values plus any
+    further duplicates of the ``keep``-th largest; symmetrically for the
+    smallest.  ``keep=None`` returns the input unchanged.
+    """
+    if keep is None or len(ascending) <= keep:
+        return ascending
+    if keep <= 0:
+        raise ProtocolError(f"keep must be positive, got {keep}")
+    if keep_largest:
+        boundary = ascending[-keep]
+        start = len(ascending) - keep
+        while start > 0 and ascending[start - 1] == boundary:
+            start -= 1
+        return ascending[start:]
+    boundary = ascending[keep - 1]
+    end = keep
+    while end < len(ascending) and ascending[end] == boundary:
+        end += 1
+    return ascending[:end]
+
+
+@dataclass(frozen=True)
+class HistogramPayload(Payload):
+    """Equi-width histogram over a refinement interval (Section 4.1).
+
+    Counts are merged by element-wise addition.  The on-air size is the
+    smaller of the dense encoding (``b`` counts) and the compressed encoding
+    (``(id, count)`` pairs for non-empty buckets) — the compression proposed
+    in [21] and enabled for HBC and LCLL.
+    """
+
+    counts: tuple[int, ...]
+    compressed: bool = True
+
+    def merged_with(self, other: "HistogramPayload") -> "HistogramPayload":
+        if len(self.counts) != len(other.counts):
+            raise ProtocolError(
+                f"histogram size mismatch: {len(self.counts)} vs {len(other.counts)}"
+            )
+        summed = tuple(a + b for a, b in zip(self.counts, other.counts))
+        return HistogramPayload(counts=summed, compressed=self.compressed)
+
+    def payload_bits(self) -> int:
+        dense = len(self.counts) * BUCKET_COUNT_BITS
+        if not self.compressed:
+            return dense
+        nonempty = sum(1 for count in self.counts if count)
+        sparse = nonempty * (BUCKET_ID_BITS + BUCKET_COUNT_BITS)
+        return min(dense, sparse)
+
+    def is_empty(self) -> bool:
+        return all(count == 0 for count in self.counts)
+
+
+@dataclass(frozen=True)
+class BucketDeltaPayload(Payload):
+    """LCLL's improved validation message: per-bucket count deltas.
+
+    A node whose value moved between buckets sends two entries: ``-1`` for
+    the bucket it left and ``+1`` for the bucket it entered (Section 5.1.6).
+    Entries are keyed by ``(level, bucket_index)`` so the hierarchical
+    variant can update several resolutions in one message.
+    """
+
+    deltas: tuple[tuple[tuple[int, int], int], ...] = ()
+
+    def merged_with(self, other: "BucketDeltaPayload") -> "BucketDeltaPayload":
+        combined: dict[tuple[int, int], int] = dict(self.deltas)
+        for key, delta in other.deltas:
+            combined[key] = combined.get(key, 0) + delta
+        pruned = tuple(
+            sorted((key, delta) for key, delta in combined.items() if delta != 0)
+        )
+        return BucketDeltaPayload(deltas=pruned)
+
+    def payload_bits(self) -> int:
+        return len(self.deltas) * (BUCKET_ID_BITS + BUCKET_COUNT_BITS)
+
+    def is_empty(self) -> bool:
+        return not self.deltas
+
+    def as_dict(self) -> dict[tuple[int, int], int]:
+        """The deltas as a plain dictionary."""
+        return dict(self.deltas)
+
+
+@dataclass(frozen=True)
+class CombinedPayload(Payload):
+    """Several heterogeneous payloads travelling in one transmission.
+
+    Used when an algorithm piggybacks independent pieces of information on
+    the same convergecast (e.g. LCLL-S boundary counters next to bucket
+    deltas).  Parts are merged pairwise by position.
+    """
+
+    parts: tuple[Payload, ...] = field(default_factory=tuple)
+
+    def merged_with(self, other: "CombinedPayload") -> "CombinedPayload":
+        if len(self.parts) != len(other.parts):
+            raise ProtocolError("combined payloads must have the same arity")
+        merged = tuple(
+            mine.merged_with(theirs)
+            for mine, theirs in zip(self.parts, other.parts)
+        )
+        return CombinedPayload(parts=merged)
+
+    def payload_bits(self) -> int:
+        return sum(part.payload_bits() for part in self.parts if not part.is_empty())
+
+    def num_values(self) -> int:
+        return sum(part.num_values() for part in self.parts)
+
+    def is_empty(self) -> bool:
+        return all(part.is_empty() for part in self.parts)
+
+
+def _opt_min(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _opt_max(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)

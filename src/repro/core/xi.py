@@ -1,0 +1,108 @@
+"""The adaptive direct-transmission interval Ξ of IQ (Section 4.2).
+
+Ξ = [v_k + ξ_l, v_k + ξ_r] is the band around the current quantile inside
+which nodes ship raw values during validation.  Both the root and every
+sensor node maintain the same tracker, driven purely by the sequence of
+(broadcast) quantiles, so the band never needs to be transmitted after
+initialization.
+
+Adaptation (paper, Section 4.2.2 "Filter Broadcast"): over the ``m`` most
+recent quantiles,
+
+    ξ_l = min(0, min Δ_i),   ξ_r = max(0, max Δ_i),
+
+with Δ_i the one-round quantile deltas.  A downward trend therefore widens
+the band below the quantile; an upward trend widens it above; a constant
+quantile collapses the band (refinements are cheap then anyway).  The
+constraint ξ_l <= 0 <= ξ_r is structural (the paper keeps it too).
+
+At initialization nothing is known about the trend, so ξ is seeded from the
+value density around the quantile (Section 4.2.1): either ``c`` times the
+mean gap of the ``k`` smallest values, or the median gap (robust against
+outliers under, e.g., normally distributed measurements).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Literal
+
+from repro.errors import ConfigurationError
+
+InitPolicy = Literal["mean_gap", "median_gap"]
+
+
+def initial_xi(
+    smallest_values: Iterable[int],
+    policy: InitPolicy = "mean_gap",
+    scale: float = 2.0,
+) -> int:
+    """Seed half-width ξ from the ascending ``k`` smallest values.
+
+    ``mean_gap`` implements the paper's ``xi = c * (v_k - v_1) / k``;
+    ``median_gap`` uses the median of consecutive differences.  The result
+    is at least 1 so the initial Ξ always contains some neighbourhood of the
+    quantile ("it should also contain at least some values").
+    """
+    values = sorted(smallest_values)
+    if not values:
+        raise ConfigurationError("cannot seed xi from an empty value set")
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    if len(values) == 1:
+        return 1
+    if policy == "mean_gap":
+        gap = (values[-1] - values[0]) / (len(values) - 1)
+    elif policy == "median_gap":
+        gaps = sorted(b - a for a, b in zip(values, values[1:]))
+        gap = gaps[len(gaps) // 2]
+    else:
+        raise ConfigurationError(f"unknown xi init policy: {policy!r}")
+    return max(1, round(scale * gap))
+
+
+class XiTracker:
+    """Replicated Ξ state machine shared by the root and all nodes."""
+
+    def __init__(self, initial_quantile: int, xi_seed: int, window: int = 6) -> None:
+        if window < 2:
+            raise ConfigurationError(f"window m must be >= 2, got {window}")
+        if xi_seed < 1:
+            raise ConfigurationError(f"xi_seed must be >= 1, got {xi_seed}")
+        self.window = window
+        self._xi_seed = xi_seed
+        self._history: deque[int] = deque([initial_quantile], maxlen=window)
+
+    @property
+    def current_quantile(self) -> int:
+        """The most recent quantile the tracker has seen."""
+        return self._history[-1]
+
+    def observe(self, quantile: int) -> None:
+        """Record the round's quantile (broadcast, or implicitly unchanged)."""
+        self._history.append(quantile)
+
+    def _deltas(self) -> list[int]:
+        history = list(self._history)
+        return [b - a for a, b in zip(history, history[1:])]
+
+    @property
+    def xi_left(self) -> int:
+        """Lower band offset ξ_l <= 0."""
+        deltas = self._deltas()
+        if not deltas:
+            return -self._xi_seed
+        return min(0, min(deltas))
+
+    @property
+    def xi_right(self) -> int:
+        """Upper band offset ξ_r >= 0."""
+        deltas = self._deltas()
+        if not deltas:
+            return self._xi_seed
+        return max(0, max(deltas))
+
+    def band(self) -> tuple[int, int]:
+        """Current Ξ as inclusive absolute bounds around the quantile."""
+        quantile = self.current_quantile
+        return quantile + self.xi_left, quantile + self.xi_right

@@ -1,0 +1,17 @@
+"""Workloads: synthetic noise-field data and the air-pressure substitute."""
+
+from repro.datasets.base import Workload
+from repro.datasets.noise import interpolated_noise, sample_field
+from repro.datasets.pressure import PressureWorkload
+from repro.datasets.som import SelfOrganizingMap, som_positions
+from repro.datasets.synthetic import SyntheticWorkload
+
+__all__ = [
+    "PressureWorkload",
+    "SelfOrganizingMap",
+    "SyntheticWorkload",
+    "Workload",
+    "interpolated_noise",
+    "sample_field",
+    "som_positions",
+]

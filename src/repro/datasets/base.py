@@ -1,0 +1,59 @@
+"""The workload interface consumed by the experiment harness.
+
+A workload bundles node positions (root vertex included) with a per-round
+integer measurement generator.  Values are indexed by vertex; the entry at
+the root index is unused (the root carries no sensor, Section 2) and is
+fixed to ``r_min`` by convention.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Workload(ABC):
+    """Positions plus a deterministic round -> measurements mapping."""
+
+    positions: np.ndarray
+    root: int
+    r_min: int
+    r_max: int
+
+    @property
+    def num_vertices(self) -> int:
+        """Total vertices, root included."""
+        return len(self.positions)
+
+    @property
+    def num_sensor_nodes(self) -> int:
+        """Number of measuring nodes ``|N|``."""
+        return self.num_vertices - 1
+
+    @abstractmethod
+    def values(self, round_index: int) -> np.ndarray:
+        """Integer measurements of round ``round_index``, indexed by vertex."""
+
+    def _validate(self) -> None:
+        """Sanity checks subclasses call at the end of construction."""
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ConfigurationError(
+                f"positions must be (n, 2), got {self.positions.shape}"
+            )
+        if not 0 <= self.root < len(self.positions):
+            raise ConfigurationError(
+                f"root {self.root} out of range for {len(self.positions)} vertices"
+            )
+        if self.r_min > self.r_max:
+            raise ConfigurationError(
+                f"empty value range [{self.r_min}, {self.r_max}]"
+            )
+
+    def _finalize(self, values: np.ndarray) -> np.ndarray:
+        """Clip to the universe, cast to int64 and blank the root entry."""
+        clipped = np.clip(np.rint(values), self.r_min, self.r_max).astype(np.int64)
+        clipped[self.root] = self.r_min
+        return clipped

@@ -1,0 +1,154 @@
+"""Event-driven workload: a quiet field disturbed by transient plumes.
+
+Section 4.2.2 warns about IQ's weak spot: "if there are short-lived trends,
+the number of refinements and therefore the energy consumption increases"
+(Ξ needs a few rounds to adapt whenever the trend breaks).  The paper's
+sinusoidal workload has no such breaks, so this workload creates them — the
+monitoring scenario its introduction motivates (volcano and habitat
+monitoring [29], [18]):
+
+* a calm, spatially correlated base field with mild noise;
+* transient *events*: circular plumes that appear at random positions,
+  raise measurements within their radius by a peaked-then-decaying
+  amplitude, and vanish after a short lifetime.
+
+Frequent, strong events break the quantile's trend repeatedly — exactly
+the regime where histogram refiners catch up with IQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    AREA_SIDE_M,
+    DEFAULT_RANGE_MAX,
+    DEFAULT_RANGE_MIN,
+)
+from repro.datasets.base import Workload
+from repro.datasets.noise import interpolated_noise, sample_field
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """One transient plume."""
+
+    start_round: int
+    lifetime: int
+    center: tuple[float, float]
+    radius: float
+    amplitude: float
+
+    def intensity(self, round_index: int) -> float:
+        """Triangular rise-and-decay envelope in [0, 1]."""
+        age = round_index - self.start_round
+        if age < 0 or age >= self.lifetime:
+            return 0.0
+        peak = self.lifetime / 2.0
+        return 1.0 - abs(age - peak) / peak
+
+
+class EventWorkload(Workload):
+    """Calm correlated field + transient spatial events.
+
+    Args:
+        positions: ``(V, 2)`` vertex coordinates (root included).
+        rng: randomness source.
+        event_rate: expected events spawning per round (Poisson).
+        event_lifetime: mean event duration [rounds].
+        event_radius: mean plume radius [m].
+        event_amplitude_percent: plume peak height as percent of the range.
+        noise_percent: background noise (percent of range, uniform).
+        num_rounds: horizon for which the event schedule is pre-drawn.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        rng: np.random.Generator,
+        root: int = 0,
+        r_min: int = DEFAULT_RANGE_MIN,
+        r_max: int = DEFAULT_RANGE_MAX,
+        event_rate: float = 0.15,
+        event_lifetime: int = 10,
+        event_radius: float = 60.0,
+        event_amplitude_percent: float = 40.0,
+        noise_percent: float = 2.0,
+        num_rounds: int = 500,
+        area_side: float = AREA_SIDE_M,
+    ) -> None:
+        if event_rate < 0:
+            raise ConfigurationError(f"event_rate must be >= 0, got {event_rate}")
+        if event_lifetime < 2:
+            raise ConfigurationError(
+                f"event_lifetime must be >= 2, got {event_lifetime}"
+            )
+        if num_rounds < 1:
+            raise ConfigurationError(f"num_rounds must be >= 1, got {num_rounds}")
+        self.positions = np.asarray(positions, dtype=float)
+        self.root = root
+        self.r_min, self.r_max = r_min, r_max
+        self._validate()
+
+        value_range = r_max - r_min
+        field = interpolated_noise(rng)
+        grey = sample_field(field, self.positions, area_side)
+        # The calm base occupies the lower half of the range; events push up.
+        self._base = r_min + grey * value_range * 0.45
+        self._noise_peak = value_range * noise_percent / 100.0
+        self._amplitude = value_range * event_amplitude_percent / 100.0
+        self._noise_seed = int(rng.integers(0, 2**63 - 1))
+
+        # Pre-draw the full event schedule so values(t) is random-access.
+        self.events: list[Event] = []
+        counts = rng.poisson(event_rate, size=num_rounds)
+        for round_index, count in enumerate(counts):
+            for _ in range(count):
+                lifetime = max(3, int(rng.normal(event_lifetime, 2.0)))
+                self.events.append(
+                    Event(
+                        start_round=round_index,
+                        lifetime=lifetime,
+                        center=(
+                            float(rng.uniform(0, area_side)),
+                            float(rng.uniform(0, area_side)),
+                        ),
+                        radius=max(10.0, float(rng.normal(event_radius, 10.0))),
+                        amplitude=float(
+                            rng.uniform(0.5, 1.0) * self._amplitude
+                        ),
+                    )
+                )
+        self._num_rounds = num_rounds
+
+    def active_events(self, round_index: int) -> list[Event]:
+        """Events with non-zero intensity at ``round_index``."""
+        return [e for e in self.events if e.intensity(round_index) > 0.0]
+
+    def values(self, round_index: int) -> np.ndarray:
+        """Measurements at ``round_index`` (deterministic, random-access)."""
+        if round_index < 0:
+            raise ConfigurationError(f"round_index must be >= 0, got {round_index}")
+        if round_index >= self._num_rounds:
+            raise ConfigurationError(
+                f"round {round_index} beyond the pre-drawn horizon "
+                f"of {self._num_rounds} rounds"
+            )
+        raw = self._base.copy()
+        for event in self.active_events(round_index):
+            intensity = event.intensity(round_index)
+            distance = np.hypot(
+                self.positions[:, 0] - event.center[0],
+                self.positions[:, 1] - event.center[1],
+            )
+            influence = np.clip(1.0 - distance / event.radius, 0.0, 1.0)
+            raw = raw + event.amplitude * intensity * influence
+        if self._noise_peak > 0:
+            round_rng = np.random.default_rng((self._noise_seed, round_index))
+            raw = raw + round_rng.uniform(
+                -self._noise_peak / 2, self._noise_peak / 2, size=len(raw)
+            )
+        return self._finalize(raw)

@@ -1,0 +1,112 @@
+"""Self-organizing-map placement for trace datasets (Section 5.1.3).
+
+The paper's air-pressure traces carry no coordinates, so the authors place
+nodes with a SOM trained on each node's first measurement: nodes with
+similar values end up spatially close, recreating the spatial correlation a
+real deployment would show.  We implement the classic Kohonen algorithm on a
+2-D output lattice with scalar (feature-size-one) weights, then map every
+node to its best-matching unit's cell, jittered inside the cell so no two
+nodes coincide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import AREA_SIDE_M
+from repro.errors import ConfigurationError
+
+
+class SelfOrganizingMap:
+    """A 2-D Kohonen map with scalar inputs.
+
+    Args:
+        grid_side: the output lattice is ``grid_side x grid_side`` neurons.
+        iterations: training epochs over the shuffled inputs.
+        initial_learning_rate: step size at epoch 0, decayed exponentially.
+        initial_radius: neighbourhood radius at epoch 0 (lattice units).
+    """
+
+    def __init__(
+        self,
+        grid_side: int,
+        iterations: int = 20,
+        initial_learning_rate: float = 0.5,
+        initial_radius: float | None = None,
+    ) -> None:
+        if grid_side < 2:
+            raise ConfigurationError(f"grid_side must be >= 2, got {grid_side}")
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        self.grid_side = grid_side
+        self.iterations = iterations
+        self.initial_learning_rate = initial_learning_rate
+        self.initial_radius = initial_radius or grid_side / 2.0
+        self.weights: np.ndarray | None = None  # (grid_side, grid_side)
+
+        rows, cols = np.meshgrid(
+            np.arange(grid_side), np.arange(grid_side), indexing="ij"
+        )
+        self._lattice = np.stack([rows, cols], axis=-1).astype(float)
+
+    def fit(self, features: np.ndarray, rng: np.random.Generator) -> None:
+        """Train the map on scalar ``features``."""
+        features = np.asarray(features, dtype=float).ravel()
+        if features.size == 0:
+            raise ConfigurationError("cannot fit a SOM on empty features")
+        low, high = features.min(), features.max()
+        span = high - low if high > low else 1.0
+        self.weights = rng.uniform(low, high, size=(self.grid_side, self.grid_side))
+
+        total_steps = self.iterations * features.size
+        step = 0
+        time_constant = total_steps / np.log(max(self.initial_radius, 1.0 + 1e-9))
+        for _ in range(self.iterations):
+            for value in rng.permutation(features):
+                progress = step / max(total_steps - 1, 1)
+                learning_rate = self.initial_learning_rate * np.exp(-progress)
+                radius = max(
+                    self.initial_radius * np.exp(-step / time_constant), 0.5
+                )
+                best = self.best_matching_unit(value)
+                distance_sq = ((self._lattice - np.array(best)) ** 2).sum(axis=-1)
+                influence = np.exp(-distance_sq / (2.0 * radius**2))
+                self.weights += learning_rate * influence * (value - self.weights)
+                step += 1
+        # Normalize weights drift: keep them within the observed feature span.
+        self.weights = np.clip(self.weights, low - span, high + span)
+
+    def best_matching_unit(self, value: float) -> tuple[int, int]:
+        """Lattice coordinates of the neuron closest to ``value``."""
+        if self.weights is None:
+            raise ConfigurationError("SOM not fitted yet")
+        flat = np.abs(self.weights - value).argmin()
+        return divmod(int(flat), self.grid_side)
+
+
+def som_positions(
+    first_measurements: np.ndarray,
+    rng: np.random.Generator,
+    area_side: float = AREA_SIDE_M,
+    iterations: int = 20,
+) -> np.ndarray:
+    """Deployment coordinates for nodes with the given first measurements.
+
+    Each node lands in its best-matching unit's grid cell, uniformly
+    jittered inside the cell.  Similar measurements map to nearby cells,
+    which is the spatial correlation the algorithms exploit.
+    """
+    features = np.asarray(first_measurements, dtype=float).ravel()
+    if features.size == 0:
+        raise ConfigurationError("need at least one node")
+    grid_side = max(2, int(np.ceil(np.sqrt(features.size))))
+    som = SelfOrganizingMap(grid_side, iterations=iterations)
+    som.fit(features, rng)
+
+    cell = area_side / grid_side
+    positions = np.empty((features.size, 2))
+    for index, value in enumerate(features):
+        row, col = som.best_matching_unit(value)
+        jitter = rng.uniform(0.05, 0.95, size=2)
+        positions[index] = ((col + jitter[0]) * cell, (row + jitter[1]) * cell)
+    return positions

@@ -1,0 +1,108 @@
+"""The paper's synthetic workload (Sections 5.1.2 and 5.1.7).
+
+Initial values come from an interpolated-noise field sampled at the node
+positions (spatial correlation), quantized to 256 grey levels plus a small
+dither (< 1/255 of the range) exactly as the paper describes.  Temporal
+dynamics follow the evaluation's sinusoidal model: a global sinusoid of
+period ``tau`` rounds shifts all measurements (so the quantile tracks it),
+and per-node uniform noise of magnitude ``psi`` percent of the range is
+added on top.  Values are rounded and clipped to the integer universe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    AREA_SIDE_M,
+    DEFAULT_NOISE_PERCENT,
+    DEFAULT_PERIOD_ROUNDS,
+    DEFAULT_RANGE_MAX,
+    DEFAULT_RANGE_MIN,
+)
+from repro.datasets.base import Workload
+from repro.datasets.noise import interpolated_noise, sample_field
+from repro.errors import ConfigurationError
+
+
+class SyntheticWorkload(Workload):
+    """Noise-field initialization + sinusoid-with-noise dynamics.
+
+    Args:
+        positions: ``(V, 2)`` vertex coordinates (root included).
+        rng: randomness source (field, dither and per-round noise).
+        root: root vertex index.
+        r_min / r_max: integer measurement universe.
+        period: sinusoid period ``tau`` in rounds.
+        noise_percent: per-node noise magnitude ``psi`` as percent of the
+            range (peak-to-peak, uniform).
+        amplitude_percent: sinusoid amplitude as percent of the range.
+        area_side: deployment area side length [m].
+
+    Per-round noise is drawn from a per-round child generator seeded by the
+    round index, so ``values(t)`` is deterministic and random-access.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        rng: np.random.Generator,
+        root: int = 0,
+        r_min: int = DEFAULT_RANGE_MIN,
+        r_max: int = DEFAULT_RANGE_MAX,
+        period: int = DEFAULT_PERIOD_ROUNDS,
+        noise_percent: float = DEFAULT_NOISE_PERCENT,
+        amplitude_percent: float = 25.0,
+        area_side: float = AREA_SIDE_M,
+    ) -> None:
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if noise_percent < 0:
+            raise ConfigurationError(
+                f"noise_percent must be >= 0, got {noise_percent}"
+            )
+        if amplitude_percent < 0:
+            raise ConfigurationError(
+                f"amplitude_percent must be >= 0, got {amplitude_percent}"
+            )
+        self.positions = np.asarray(positions, dtype=float)
+        self.root = root
+        self.r_min, self.r_max = r_min, r_max
+        self.period = period
+        self.noise_percent = noise_percent
+        self.amplitude_percent = amplitude_percent
+        self._validate()
+
+        value_range = self.r_max - self.r_min
+        field = interpolated_noise(rng)
+        grey = sample_field(field, self.positions, area_side)
+        # 256 grey levels plus a sub-level dither, as in Section 5.1.2.
+        quantized = np.floor(grey * 255.0) / 255.0
+        dither = rng.uniform(0.0, 1.0 / 255.0, size=len(self.positions))
+        # Keep the sinusoid head-room: bases occupy the central half of the
+        # range so the oscillation rarely clips.
+        amplitude = value_range * self.amplitude_percent / 100.0
+        base_low = self.r_min + amplitude
+        base_high = self.r_max - amplitude
+        if base_low > base_high:
+            base_low = base_high = (self.r_min + self.r_max) / 2.0
+        self._base = base_low + (quantized + dither) * (base_high - base_low)
+        self._amplitude = amplitude
+        self._noise_peak = value_range * self.noise_percent / 100.0
+        self._noise_seed = int(rng.integers(0, 2**63 - 1))
+
+    def values(self, round_index: int) -> np.ndarray:
+        """Measurements of round ``round_index`` (deterministic per round)."""
+        if round_index < 0:
+            raise ConfigurationError(f"round_index must be >= 0, got {round_index}")
+        shift = self._amplitude * np.sin(2.0 * np.pi * round_index / self.period)
+        raw = self._base + shift
+        if self._noise_peak > 0:
+            round_rng = np.random.default_rng((self._noise_seed, round_index))
+            noise = round_rng.uniform(
+                -self._noise_peak / 2.0,
+                self._noise_peak / 2.0,
+                size=len(self.positions),
+            )
+            raw = raw + noise
+        return self._finalize(raw)

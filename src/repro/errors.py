@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class TopologyError(ReproError):
+    """The physical or logical network topology is invalid.
+
+    Raised, for example, when the physical graph is disconnected so no
+    routing tree rooted at the sink can span all nodes.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An experiment or algorithm was configured with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """An algorithm's internal protocol invariant was violated.
+
+    This signals a bug in an algorithm implementation (e.g. the root's
+    ``l``/``e``/``g`` counters diverging from the true distribution), not a
+    user error.
+    """
+
+
+class EnergyError(ReproError):
+    """Energy accounting was asked to do something impossible.
+
+    For example charging a negative number of bits to a node.
+    """

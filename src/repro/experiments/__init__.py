@@ -1,0 +1,36 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5)."""
+
+from repro.experiments.config import (
+    PAPER_ALGORITHMS,
+    ExperimentConfig,
+    PressureConfig,
+    default_algorithms,
+    scale_factor,
+)
+from repro.experiments.metrics import AggregateMetrics, aggregate_runs
+from repro.experiments.runner import (
+    run_pressure_experiment,
+    run_synthetic_experiment,
+)
+from repro.experiments.sweeps import SweepResult, sweep, sweep_pressure
+from repro.experiments.report import format_comparison, format_sweep_table
+from repro.experiments.figures import fig4_xi_trace, fig5_noise_field
+
+__all__ = [
+    "AggregateMetrics",
+    "ExperimentConfig",
+    "PAPER_ALGORITHMS",
+    "PressureConfig",
+    "SweepResult",
+    "aggregate_runs",
+    "default_algorithms",
+    "fig4_xi_trace",
+    "fig5_noise_field",
+    "format_comparison",
+    "format_sweep_table",
+    "run_pressure_experiment",
+    "run_synthetic_experiment",
+    "scale_factor",
+    "sweep",
+    "sweep_pressure",
+]

@@ -1,0 +1,123 @@
+"""Experiment configurations mirroring Table 2 / Section 5.1.7.
+
+The paper runs 20 simulation runs of 250 rounds for every variable setting.
+That is expensive for a CI-friendly benchmark suite, so configurations can
+be *scaled*: ``REPRO_SCALE`` (a float, default 0.2) multiplies the number of
+runs, rounds and nodes.  ``REPRO_SCALE=1`` reproduces the paper's full
+setting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.baselines import LCLLHierarchical, LCLLSlip, POS, TAG
+from repro.constants import (
+    DEFAULT_NOISE_PERCENT,
+    DEFAULT_NUM_NODES,
+    DEFAULT_PERIOD_ROUNDS,
+    DEFAULT_RADIO_RANGE_M,
+    DEFAULT_RANGE_MAX,
+    DEFAULT_RANGE_MIN,
+    DEFAULT_ROUNDS,
+    DEFAULT_RUNS,
+)
+from repro.core import HBC, IQ, ContinuousQuantileAlgorithm
+from repro.errors import ConfigurationError
+from repro.types import QuerySpec
+
+#: A factory building a fresh algorithm instance for one run.
+AlgorithmFactory = Callable[[QuerySpec], ContinuousQuantileAlgorithm]
+
+#: The algorithms the paper compares (Section 5.1.6), by display name.
+PAPER_ALGORITHMS: dict[str, AlgorithmFactory] = {
+    "TAG": TAG,
+    "POS": POS,
+    "LCLL-H": LCLLHierarchical,
+    "LCLL-S": LCLLSlip,
+    "HBC": HBC,
+    "IQ": IQ,
+}
+
+
+def default_algorithms() -> dict[str, AlgorithmFactory]:
+    """A fresh copy of the paper's algorithm line-up."""
+    return dict(PAPER_ALGORITHMS)
+
+
+def scale_factor() -> float:
+    """The global experiment scale from ``REPRO_SCALE`` (default 0.2)."""
+    raw = os.environ.get("REPRO_SCALE", "0.2")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    if not 0 < value <= 10:
+        raise ConfigurationError(f"REPRO_SCALE out of range (0, 10]: {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One synthetic-dataset configuration (Table 2 defaults).
+
+    ``runs`` simulation runs of ``rounds`` rounds each are averaged; the
+    deployment is resampled between runs (Section 5.1).
+    """
+
+    num_nodes: int = DEFAULT_NUM_NODES
+    radio_range: float = DEFAULT_RADIO_RANGE_M
+    period: int = DEFAULT_PERIOD_ROUNDS
+    noise_percent: float = DEFAULT_NOISE_PERCENT
+    r_min: int = DEFAULT_RANGE_MIN
+    r_max: int = DEFAULT_RANGE_MAX
+    phi: float = 0.5
+    rounds: int = DEFAULT_ROUNDS
+    runs: int = DEFAULT_RUNS
+    seed: int = 20140324  # EDBT 2014 opening day
+
+    def spec(self) -> QuerySpec:
+        """The quantile query this configuration evaluates."""
+        return QuerySpec(phi=self.phi, r_min=self.r_min, r_max=self.r_max)
+
+    def scaled(self, factor: float | None = None) -> "ExperimentConfig":
+        """Shrink runs/rounds/nodes by ``factor`` (default: ``REPRO_SCALE``)."""
+        factor = scale_factor() if factor is None else factor
+        if factor >= 1.0:
+            return self
+        # Below ~75 nodes a 35 m radio range cannot reliably connect the
+        # 200 m x 200 m area, so the node count never scales below that.
+        return replace(
+            self,
+            num_nodes=max(75, round(self.num_nodes * factor)),
+            rounds=max(25, round(self.rounds * factor)),
+            runs=max(2, round(self.runs * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class PressureConfig:
+    """One air-pressure configuration (Section 5.2.5)."""
+
+    num_nodes: int = 1022
+    radio_range: float = DEFAULT_RADIO_RANGE_M
+    skip: int = 1
+    pessimistic: bool = False
+    phi: float = 0.5
+    rounds: int = DEFAULT_ROUNDS
+    runs: int = DEFAULT_RUNS
+    seed: int = 20140324
+
+    def scaled(self, factor: float | None = None) -> "PressureConfig":
+        """Shrink runs/rounds/nodes by ``factor`` (default: ``REPRO_SCALE``)."""
+        factor = scale_factor() if factor is None else factor
+        if factor >= 1.0:
+            return self
+        return replace(
+            self,
+            num_nodes=max(60, round(self.num_nodes * factor)),
+            rounds=max(25, round(self.rounds * factor)),
+            runs=max(2, round(self.runs * factor)),
+        )

@@ -1,0 +1,85 @@
+"""Aggregation of per-run results into the paper's performance indicators.
+
+Section 5.1.5: indicators are averaged over all rounds and simulation runs.
+We report the two headline metrics — maximum per-node energy consumption
+(the hotspot node's mean per-round energy) and network lifetime (rounds
+until the first battery dies) — plus the transmitted-message/value counters
+the paper defers to the technical report [20].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.runner import RunResult
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Run-averaged indicators for one algorithm under one configuration."""
+
+    algorithm: str
+    runs: int
+    max_energy_mj: float
+    max_energy_mj_std: float
+    lifetime_rounds: float
+    lifetime_rounds_std: float
+    refinements_per_round: float
+    messages_per_round: float
+    values_per_round: float
+    #: Mean tree traversals per round — the latency indicator of [15].
+    exchanges_per_round: float
+    all_exact: bool
+
+
+def aggregate_runs(results: Sequence[RunResult]) -> AggregateMetrics:
+    """Average the paper's indicators over simulation runs."""
+    if not results:
+        raise ConfigurationError("cannot aggregate zero runs")
+    names = {result.algorithm for result in results}
+    if len(names) != 1:
+        raise ConfigurationError(f"mixed algorithms in aggregation: {names}")
+
+    max_energy = np.array([r.max_mean_round_energy_j for r in results]) * 1e3
+    lifetime = np.array([r.lifetime_rounds for r in results], dtype=float)
+    refinements = np.array(
+        [r.total_refinements / r.num_rounds for r in results], dtype=float
+    )
+    messages = np.array(
+        [
+            sum(record.messages_sent for record in r.rounds) / r.num_rounds
+            for r in results
+        ],
+        dtype=float,
+    )
+    values = np.array(
+        [
+            sum(record.values_sent for record in r.rounds) / r.num_rounds
+            for r in results
+        ],
+        dtype=float,
+    )
+    exchanges = np.array(
+        [
+            sum(record.exchanges for record in r.rounds) / r.num_rounds
+            for r in results
+        ],
+        dtype=float,
+    )
+    return AggregateMetrics(
+        algorithm=names.pop(),
+        runs=len(results),
+        max_energy_mj=float(max_energy.mean()),
+        max_energy_mj_std=float(max_energy.std()),
+        lifetime_rounds=float(lifetime.mean()),
+        lifetime_rounds_std=float(lifetime.std()),
+        refinements_per_round=float(refinements.mean()),
+        messages_per_round=float(messages.mean()),
+        values_per_round=float(values.mean()),
+        exchanges_per_round=float(exchanges.mean()),
+        all_exact=all(r.all_exact for r in results),
+    )

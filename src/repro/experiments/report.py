@@ -1,0 +1,74 @@
+"""Plain-text rendering of sweep results, in the layout of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.metrics import AggregateMetrics
+from repro.experiments.sweeps import SweepResult
+
+#: Extracts the plotted quantity from one aggregated point.
+MetricGetter = Callable[[AggregateMetrics], float]
+
+METRICS: dict[str, MetricGetter] = {
+    "max_energy_mj": lambda m: m.max_energy_mj,
+    "lifetime_rounds": lambda m: m.lifetime_rounds,
+    "refinements_per_round": lambda m: m.refinements_per_round,
+    "messages_per_round": lambda m: m.messages_per_round,
+    "values_per_round": lambda m: m.values_per_round,
+    "exchanges_per_round": lambda m: m.exchanges_per_round,
+}
+
+
+def format_sweep_table(
+    result: SweepResult,
+    metric: str = "max_energy_mj",
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render one metric of a sweep as an aligned text table.
+
+    Rows are algorithms, columns the sweep values — the same series the
+    paper plots in its figures.
+    """
+    getter = METRICS[metric]
+    header = [f"{result.variable}={x:g}" for x in result.xs]
+    name_width = max([len("algorithm")] + [len(name) for name in result.series])
+    col_width = max([12] + [len(h) for h in header]) + 2
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"metric: {metric}")
+    lines.append(
+        "algorithm".ljust(name_width)
+        + "".join(h.rjust(col_width) for h in header)
+    )
+    for name, points in result.series.items():
+        cells = "".join(
+            f"{getter(point):.{precision}f}".rjust(col_width) for point in points
+        )
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)
+
+
+def format_comparison(
+    metrics: dict[str, AggregateMetrics], title: str | None = None
+) -> str:
+    """Render one configuration's full metric set, one row per algorithm."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'algorithm':10s} {'maxE [mJ]':>12s} {'lifetime':>10s} "
+        f"{'refin/rnd':>10s} {'msgs/rnd':>10s} {'vals/rnd':>10s} "
+        f"{'exch/rnd':>9s} {'exact':>6s}"
+    )
+    for name, m in metrics.items():
+        lines.append(
+            f"{name:10s} {m.max_energy_mj:12.4f} {m.lifetime_rounds:10.1f} "
+            f"{m.refinements_per_round:10.2f} {m.messages_per_round:10.1f} "
+            f"{m.values_per_round:10.1f} {m.exchanges_per_round:9.2f} "
+            f"{str(m.all_exact):>6s}"
+        )
+    return "\n".join(lines)

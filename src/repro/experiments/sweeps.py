@@ -1,0 +1,143 @@
+"""Parameter sweeps for every figure of the evaluation (Section 5.2).
+
+Each sweep varies one independent variable over the paper's values
+(Table 2) while keeping the others at their defaults, and runs the full
+algorithm line-up for every setting.  Results come back as a
+:class:`SweepResult`: per algorithm, one series of (x, metrics) points —
+exactly the data behind one of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    AlgorithmFactory,
+    ExperimentConfig,
+    PressureConfig,
+    default_algorithms,
+)
+from repro.experiments.metrics import AggregateMetrics
+from repro.experiments.runner import (
+    run_pressure_experiment,
+    run_synthetic_experiment,
+)
+
+#: The paper's sweep values (Table 2).
+NODE_COUNTS: tuple[int, ...] = (125, 250, 500, 1000, 2000)
+PERIODS: tuple[int, ...] = (250, 125, 63, 32, 8)
+NOISE_PERCENTS: tuple[float, ...] = (0.0, 5.0, 10.0, 20.0, 50.0)
+RADIO_RANGES: tuple[float, ...] = (15.0, 35.0, 60.0, 85.0)
+#: Sampling-rate skips for the air-pressure sweep (Section 5.2.5).
+PRESSURE_SKIPS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: The independent variables :func:`sweep` understands.
+SWEEP_VARIABLES: dict[str, tuple] = {
+    "num_nodes": NODE_COUNTS,
+    "period": PERIODS,
+    "noise_percent": NOISE_PERCENTS,
+    "radio_range": RADIO_RANGES,
+}
+
+
+def feasible_radio_ranges(
+    num_nodes: int, ranges: Sequence[float] = RADIO_RANGES
+) -> list[float]:
+    """The paper's ρ values that can connect ``num_nodes`` in the area.
+
+    ρ = 15 m needs roughly the paper's 500-node density to form a connected
+    200 m x 200 m deployment; scaled-down experiments drop it.
+    """
+    return [r for r in ranges if r >= 35.0 or num_nodes >= 400]
+
+
+@dataclass
+class SweepResult:
+    """All series behind one figure."""
+
+    variable: str
+    xs: list[float] = field(default_factory=list)
+    #: ``series[algorithm][i]`` are the metrics at ``xs[i]``.
+    series: dict[str, list[AggregateMetrics]] = field(default_factory=dict)
+
+    def add_point(self, x: float, metrics: dict[str, AggregateMetrics]) -> None:
+        """Append the metrics of one sweep setting."""
+        self.xs.append(x)
+        for name, value in metrics.items():
+            self.series.setdefault(name, []).append(value)
+
+    def energy_series(self, algorithm: str) -> list[float]:
+        """Max per-node energy [mJ] over the sweep for ``algorithm``."""
+        return [metrics.max_energy_mj for metrics in self.series[algorithm]]
+
+    def lifetime_series(self, algorithm: str) -> list[float]:
+        """Network lifetime [rounds] over the sweep for ``algorithm``."""
+        return [metrics.lifetime_rounds for metrics in self.series[algorithm]]
+
+
+def sweep(
+    variable: str,
+    values: Sequence[float] | None = None,
+    base: ExperimentConfig | None = None,
+    algorithms: dict[str, AlgorithmFactory] | None = None,
+    scale: float | None = None,
+    check: bool = True,
+) -> SweepResult:
+    """Sweep one synthetic-experiment variable (Figures 6-9).
+
+    Args:
+        variable: one of ``num_nodes``, ``period``, ``noise_percent``,
+            ``radio_range``.
+        values: sweep values; defaults to the paper's (Table 2).
+        base: base configuration; defaults to the paper's defaults.
+        algorithms: algorithm line-up; defaults to the paper's.
+        scale: experiment scale override (see ``REPRO_SCALE``).  Node counts
+            swept explicitly via ``values`` are *not* rescaled.
+        check: oracle-verify every round.
+    """
+    if variable not in SWEEP_VARIABLES:
+        raise ConfigurationError(
+            f"unknown sweep variable {variable!r}; "
+            f"expected one of {sorted(SWEEP_VARIABLES)}"
+        )
+    base = base or ExperimentConfig()
+    algorithms = algorithms or default_algorithms()
+    values = SWEEP_VARIABLES[variable] if values is None else tuple(values)
+
+    if variable == "radio_range":
+        scaled_nodes = base.scaled(scale).num_nodes
+        values = tuple(feasible_radio_ranges(scaled_nodes, values))
+
+    result = SweepResult(variable=variable)
+    for value in values:
+        config = replace(base, **{variable: value}).scaled(scale)
+        if variable == "num_nodes":
+            # The swept node count is the point's identity: keep it exact
+            # and only scale rounds/runs.
+            config = replace(config, num_nodes=int(value))
+        metrics = run_synthetic_experiment(config, algorithms, check=check)
+        result.add_point(float(value), metrics)
+    return result
+
+
+def sweep_pressure(
+    skips: Sequence[int] | None = None,
+    pessimistic: bool = False,
+    base: PressureConfig | None = None,
+    algorithms: dict[str, AlgorithmFactory] | None = None,
+    scale: float | None = None,
+    check: bool = True,
+) -> SweepResult:
+    """Sweep the sampling-rate skip on the air-pressure workload (Figure 10)."""
+    base = base or PressureConfig()
+    algorithms = algorithms or default_algorithms()
+    skips = PRESSURE_SKIPS if skips is None else tuple(skips)
+
+    result = SweepResult(variable="skip")
+    for skip in skips:
+        config = replace(base, skip=skip, pessimistic=pessimistic).scaled(scale)
+        metrics = run_pressure_experiment(config, algorithms, check=check)
+        result.add_point(float(skip), metrics)
+    return result

@@ -1,0 +1,25 @@
+"""Extensions the paper points at but does not build (Sections 3.1, 4.2, 6)."""
+
+from repro.extensions.adaptive import AdaptiveQuantile
+from repro.extensions.balancing import RotatingTreeRunner
+from repro.extensions.loss import (
+    LossExperimentResult,
+    LossyTreeNetwork,
+    run_loss_experiment,
+)
+from repro.extensions.sampling import (
+    SamplingResult,
+    run_sampling_experiment,
+    sample_layer,
+)
+
+__all__ = [
+    "AdaptiveQuantile",
+    "RotatingTreeRunner",
+    "LossExperimentResult",
+    "LossyTreeNetwork",
+    "SamplingResult",
+    "run_loss_experiment",
+    "run_sampling_experiment",
+    "sample_layer",
+]

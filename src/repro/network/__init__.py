@@ -1,0 +1,16 @@
+"""WSN topology substrate: node placement, connectivity and routing trees."""
+
+from repro.network.geometry import Point, pairwise_distances, random_positions
+from repro.network.topology import PhysicalGraph, build_physical_graph
+from repro.network.routing import build_routing_tree
+from repro.network.tree import RoutingTree
+
+__all__ = [
+    "Point",
+    "PhysicalGraph",
+    "RoutingTree",
+    "build_physical_graph",
+    "build_routing_tree",
+    "pairwise_distances",
+    "random_positions",
+]

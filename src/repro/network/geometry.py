@@ -1,0 +1,89 @@
+"""Planar geometry helpers for node placement.
+
+Nodes live in a square deployment area (200 m x 200 m by default, Section
+5.1.2 of the paper).  Positions are represented as an ``(n, 2)`` float array;
+``Point`` is a small convenience wrapper used by user-facing APIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import AREA_SIDE_M
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A position in the deployment plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    def as_array(self) -> np.ndarray:
+        """Return the point as a length-2 float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+
+def random_positions(
+    num_points: int,
+    rng: np.random.Generator,
+    area_side: float = AREA_SIDE_M,
+) -> np.ndarray:
+    """Draw ``num_points`` uniform positions in a square of side ``area_side``.
+
+    Returns an ``(num_points, 2)`` array of coordinates in metres.  The paper
+    distributes nodes uniformly in a 200 m x 200 m area (Section 5.1.2).
+    """
+    if num_points <= 0:
+        raise ConfigurationError(f"num_points must be positive, got {num_points}")
+    if area_side <= 0:
+        raise ConfigurationError(f"area_side must be positive, got {area_side}")
+    return rng.uniform(0.0, area_side, size=(num_points, 2))
+
+
+def grid_positions(num_points: int, area_side: float = AREA_SIDE_M) -> np.ndarray:
+    """Place ``num_points`` on a near-square jittered-free grid.
+
+    Deterministic placement used by tests and by the SOM-based placement as
+    its output lattice.  The grid is the smallest square lattice with at
+    least ``num_points`` cells; surplus cells are dropped from the end.
+    """
+    if num_points <= 0:
+        raise ConfigurationError(f"num_points must be positive, got {num_points}")
+    side = int(np.ceil(np.sqrt(num_points)))
+    # Cell centres, so no node sits exactly on the area boundary.
+    coords = (np.arange(side) + 0.5) * (area_side / side)
+    xs, ys = np.meshgrid(coords, coords)
+    grid = np.column_stack([xs.ravel(), ys.ravel()])
+    return grid[:num_points]
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Return the full Euclidean distance matrix for ``(n, 2)`` positions."""
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ConfigurationError(
+            f"positions must have shape (n, 2), got {positions.shape}"
+        )
+    deltas = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=-1))
+
+
+def neighbors_within(positions: np.ndarray, radius: float) -> list[list[int]]:
+    """Adjacency lists of nodes within ``radius`` of each other.
+
+    A node is never its own neighbour.  This is the physical-connectivity
+    predicate of Section 2: ``{n_i, n_j} in E_p iff dist(n_i, n_j) <= rho``.
+    """
+    if radius <= 0:
+        raise ConfigurationError(f"radius must be positive, got {radius}")
+    dist = pairwise_distances(positions)
+    np.fill_diagonal(dist, np.inf)
+    within = dist <= radius
+    return [np.flatnonzero(row).tolist() for row in within]

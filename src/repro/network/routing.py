@@ -1,0 +1,141 @@
+"""Routing-tree construction over the physical graph.
+
+The paper's simulations use a Shortest Path Tree (Section 5.1.1): every node
+routes to the root along a minimum-hop path.  We break ties among equal-depth
+parent candidates by Euclidean distance (preferring the physically closest
+parent), which keeps trees deterministic for a given deployment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.topology import PhysicalGraph
+from repro.network.tree import RoutingTree, tree_from_parents
+
+
+def build_routing_tree(graph: PhysicalGraph, root: int = 0) -> RoutingTree:
+    """Build a minimum-hop Shortest Path Tree rooted at ``root``.
+
+    Breadth-first search from the root assigns every vertex the parent that
+    first reached it; among same-depth candidates the physically closest one
+    wins.  Raises :class:`TopologyError` if some vertex cannot reach the root.
+    """
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise TopologyError(f"root {root} out of range for {n} vertices")
+
+    depth = [-1] * n
+    parent = [-1] * n
+    depth[root] = 0
+    frontier = deque([root])
+    while frontier:
+        vertex = frontier.popleft()
+        for neighbor in graph.neighbors(vertex):
+            if depth[neighbor] == -1:
+                depth[neighbor] = depth[vertex] + 1
+                parent[neighbor] = vertex
+                frontier.append(neighbor)
+            elif depth[neighbor] == depth[vertex] + 1:
+                # Equal-hop alternative parent: prefer the closer one.
+                current = parent[neighbor]
+                d_current = _distance(graph.positions, neighbor, current)
+                d_candidate = _distance(graph.positions, neighbor, vertex)
+                if d_candidate < d_current:
+                    parent[neighbor] = vertex
+
+    missing = [v for v in range(n) if depth[v] == -1]
+    if missing:
+        raise TopologyError(
+            f"{len(missing)} vertices cannot reach root {root} "
+            f"(first few: {missing[:5]}); increase the radio range"
+        )
+    return tree_from_parents(root, parent, graph.positions)
+
+
+def build_randomized_routing_tree(
+    graph: PhysicalGraph, rng: "np.random.Generator", root: int = 0
+) -> RoutingTree:
+    """A min-hop tree with uniformly random tie-breaks among parents.
+
+    Every vertex keeps its BFS depth but picks uniformly among all
+    neighbours one hop closer to the root.  Re-sampling this tree spreads
+    the forwarding load over different hotspot candidates — the basis of
+    the tree-rotation load-balancing extension
+    (:mod:`repro.extensions.balancing`).
+    """
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise TopologyError(f"root {root} out of range for {n} vertices")
+
+    depth = [-1] * n
+    depth[root] = 0
+    frontier = deque([root])
+    while frontier:
+        vertex = frontier.popleft()
+        for neighbor in graph.neighbors(vertex):
+            if depth[neighbor] == -1:
+                depth[neighbor] = depth[vertex] + 1
+                frontier.append(neighbor)
+
+    missing = [v for v in range(n) if depth[v] == -1]
+    if missing:
+        raise TopologyError(
+            f"{len(missing)} vertices cannot reach root {root} "
+            f"(first few: {missing[:5]}); increase the radio range"
+        )
+
+    parent = [-1] * n
+    for vertex in range(n):
+        if vertex == root:
+            continue
+        candidates = [
+            neighbor
+            for neighbor in graph.neighbors(vertex)
+            if depth[neighbor] == depth[vertex] - 1
+        ]
+        parent[vertex] = int(candidates[rng.integers(0, len(candidates))])
+    return tree_from_parents(root, parent, graph.positions)
+
+
+def build_min_energy_tree(graph: PhysicalGraph, root: int = 0) -> RoutingTree:
+    """Build a tree minimising summed link distance to the root (Dijkstra).
+
+    Not used by the paper's headline experiments (they use min-hop SPTs) but
+    provided for ablations: with a distance-dependent amplifier, shorter
+    links cost less per bit.
+    """
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise TopologyError(f"root {root} out of range for {n} vertices")
+
+    cost = [np.inf] * n
+    parent = [-1] * n
+    cost[root] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, root)]
+    while heap:
+        vertex_cost, vertex = heappop(heap)
+        if vertex_cost > cost[vertex]:
+            continue
+        for neighbor in graph.neighbors(vertex):
+            candidate = vertex_cost + _distance(graph.positions, vertex, neighbor)
+            if candidate < cost[neighbor]:
+                cost[neighbor] = candidate
+                parent[neighbor] = vertex
+                heappush(heap, (candidate, neighbor))
+
+    missing = [v for v in range(n) if not np.isfinite(cost[v])]
+    if missing:
+        raise TopologyError(
+            f"{len(missing)} vertices cannot reach root {root} "
+            f"(first few: {missing[:5]}); increase the radio range"
+        )
+    return tree_from_parents(root, parent, graph.positions)
+
+
+def _distance(positions: np.ndarray, a: int, b: int) -> float:
+    return float(np.hypot(*(positions[a] - positions[b])))

@@ -1,0 +1,103 @@
+"""Physical connectivity graph ``G_p`` of Section 2.
+
+Vertices are the root (sink) plus all sensor nodes; an undirected edge
+connects two vertices whenever their Euclidean distance is at most the radio
+range ``rho``.  The root is an ordinary vertex of the physical graph — the
+distinction only matters for routing (the tree is rooted there) and for
+energy accounting (the root has an infinite supply).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.network.geometry import neighbors_within, random_positions
+
+
+@dataclass(frozen=True)
+class PhysicalGraph:
+    """Immutable physical-connectivity graph.
+
+    Attributes:
+        positions: ``(n, 2)`` array of vertex coordinates in metres.
+        radio_range: radio range ``rho`` in metres.
+        adjacency: per-vertex sorted lists of physical neighbours.
+    """
+
+    positions: np.ndarray
+    radio_range: float
+    adjacency: tuple[tuple[int, ...], ...] = field(repr=False)
+
+    @property
+    def num_vertices(self) -> int:
+        """Total number of vertices including the root."""
+        return len(self.adjacency)
+
+    def neighbors(self, vertex: int) -> tuple[int, ...]:
+        """Physical neighbours of ``vertex``."""
+        return self.adjacency[vertex]
+
+    def reachable_from(self, source: int) -> set[int]:
+        """All vertices reachable from ``source`` over multi-hop paths."""
+        seen = {source}
+        frontier = deque([source])
+        while frontier:
+            vertex = frontier.popleft()
+            for neighbor in self.adjacency[vertex]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    def is_connected(self) -> bool:
+        """True iff every vertex can reach every other vertex."""
+        return len(self.reachable_from(0)) == self.num_vertices
+
+
+def build_physical_graph(positions: np.ndarray, radio_range: float) -> PhysicalGraph:
+    """Build ``G_p`` from vertex positions and a radio range.
+
+    Args:
+        positions: ``(n, 2)`` coordinates of all vertices (root included).
+        radio_range: radio range ``rho`` in metres; must be positive.
+    """
+    adjacency = neighbors_within(positions, radio_range)
+    frozen = tuple(tuple(sorted(row)) for row in adjacency)
+    return PhysicalGraph(
+        positions=np.asarray(positions, dtype=float),
+        radio_range=float(radio_range),
+        adjacency=frozen,
+    )
+
+
+def connected_random_graph(
+    num_vertices: int,
+    radio_range: float,
+    rng: np.random.Generator,
+    area_side: float | None = None,
+    max_attempts: int = 200,
+) -> PhysicalGraph:
+    """Sample uniform positions until the physical graph is connected.
+
+    The paper assumes every node can reach the root over multiple hops
+    (Section 2); sparse random deployments occasionally violate this, so the
+    experiment harness resamples.  Raises :class:`TopologyError` after
+    ``max_attempts`` failures (e.g. when ``radio_range`` is far too small for
+    the node density).
+    """
+    if max_attempts <= 0:
+        raise ConfigurationError(f"max_attempts must be positive, got {max_attempts}")
+    kwargs = {} if area_side is None else {"area_side": area_side}
+    for _ in range(max_attempts):
+        positions = random_positions(num_vertices, rng, **kwargs)
+        graph = build_physical_graph(positions, radio_range)
+        if graph.is_connected():
+            return graph
+    raise TopologyError(
+        f"could not sample a connected deployment of {num_vertices} vertices "
+        f"with radio range {radio_range} m in {max_attempts} attempts"
+    )

@@ -1,0 +1,14 @@
+"""Radio substrate: message sizing, energy model and per-node accounting."""
+
+from repro.radio.message import MessageCost, fragment_count, message_bits
+from repro.radio.energy import EnergyModel
+from repro.radio.ledger import EnergyLedger, TrafficCounters
+
+__all__ = [
+    "EnergyLedger",
+    "EnergyModel",
+    "MessageCost",
+    "TrafficCounters",
+    "fragment_count",
+    "message_bits",
+]

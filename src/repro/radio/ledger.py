@@ -1,0 +1,190 @@
+"""Per-node traffic and energy accounting.
+
+The ledger tracks, per vertex, cumulative and per-round counters for frames,
+bits and application values sent and received, plus energy in joules.  The
+root node participates in traffic accounting (its receptions are real radio
+activity) but is excluded from battery-derived metrics because it has an
+infinite supply (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EnergyError
+from repro.radio.energy import EnergyModel
+from repro.radio.message import MessageCost
+
+
+@dataclass(frozen=True)
+class TrafficCounters:
+    """Aggregated traffic/energy totals over some scope (a round or a run)."""
+
+    messages_sent: int
+    bits_sent: int
+    values_sent: int
+    energy: float
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing at all was accounted."""
+        return self.messages_sent == 0 and self.bits_sent == 0 and self.energy == 0.0
+
+
+class EnergyLedger:
+    """Mutable per-vertex accounting for one simulation run."""
+
+    def __init__(
+        self, num_vertices: int, root: int, model: EnergyModel, radio_range: float
+    ) -> None:
+        if num_vertices < 2:
+            raise EnergyError(f"need at least 2 vertices, got {num_vertices}")
+        if not 0 <= root < num_vertices:
+            raise EnergyError(f"root {root} out of range for {num_vertices} vertices")
+        self._model = model
+        self._radio_range = float(radio_range)
+        self.root = root
+        self.num_vertices = num_vertices
+
+        self.energy = np.zeros(num_vertices)
+        self.messages_sent = np.zeros(num_vertices, dtype=np.int64)
+        self.messages_received = np.zeros(num_vertices, dtype=np.int64)
+        self.bits_sent = np.zeros(num_vertices, dtype=np.int64)
+        self.bits_received = np.zeros(num_vertices, dtype=np.int64)
+        self.values_sent = np.zeros(num_vertices, dtype=np.int64)
+
+        self._round_energy = np.zeros(num_vertices)
+        self._round_open = False
+        self.round_energy_history: list[np.ndarray] = []
+
+    @property
+    def model(self) -> EnergyModel:
+        """The energy model this ledger charges with."""
+        return self._model
+
+    @property
+    def radio_range(self) -> float:
+        """Nominal radio range used for the amplifier term [m]."""
+        return self._radio_range
+
+    # -- round bracketing ----------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Open a new round; per-round counters reset.
+
+        A non-zero ``idle_cost_per_round`` in the model is charged here to
+        every battery-powered vertex (duty-cycled idle listening).
+        """
+        if self._round_open:
+            raise EnergyError("begin_round called with a round already open")
+        self._round_open = True
+        self._round_energy[:] = 0.0
+        idle = self._model.idle_cost_per_round
+        if idle > 0.0:
+            mask = self.sensor_mask()
+            self.energy[mask] += idle
+            self._round_energy[mask] += idle
+
+    def end_round(self) -> np.ndarray:
+        """Close the round, archive and return its per-vertex energy."""
+        if not self._round_open:
+            raise EnergyError("end_round called without an open round")
+        self._round_open = False
+        snapshot = self._round_energy.copy()
+        self.round_energy_history.append(snapshot)
+        return snapshot
+
+    # -- charging ------------------------------------------------------------
+
+    def charge_send(
+        self,
+        sender: int,
+        cost: MessageCost,
+        values: int = 0,
+        link_distance: float = 0.0,
+    ) -> None:
+        """Charge ``sender`` for putting ``cost`` on the air."""
+        joules = self._model.send_energy(
+            cost.total_bits, self._radio_range, link_distance
+        )
+        self.energy[sender] += joules
+        if self._round_open:
+            self._round_energy[sender] += joules
+        self.messages_sent[sender] += cost.messages
+        self.bits_sent[sender] += cost.total_bits
+        self.values_sent[sender] += values
+
+    def charge_recv(self, receiver: int, cost: MessageCost) -> None:
+        """Charge ``receiver`` for listening to ``cost`` on the air."""
+        joules = self._model.recv_energy(cost.total_bits)
+        self.energy[receiver] += joules
+        if self._round_open:
+            self._round_energy[receiver] += joules
+        self.messages_received[receiver] += cost.messages
+        self.bits_received[receiver] += cost.total_bits
+
+    # -- metrics -------------------------------------------------------------
+
+    def sensor_mask(self) -> np.ndarray:
+        """Boolean mask selecting battery-powered vertices (all but root)."""
+        mask = np.ones(self.num_vertices, dtype=bool)
+        mask[self.root] = False
+        return mask
+
+    def max_sensor_energy(self) -> float:
+        """Cumulative energy of the hottest battery-powered node [J]."""
+        return float(self.energy[self.sensor_mask()].max())
+
+    def mean_round_energy(self) -> np.ndarray:
+        """Per-vertex mean energy per round over the archived rounds [J]."""
+        if not self.round_energy_history:
+            raise EnergyError("no completed rounds to average over")
+        return np.mean(self.round_energy_history, axis=0)
+
+    def max_mean_round_energy(self) -> float:
+        """Mean per-round energy of the hottest sensor node [J].
+
+        This is the paper's "maximum per-node energy consumption" indicator
+        (Section 5.1.5): the average over rounds for the node that consumes
+        the most.
+        """
+        return float(self.mean_round_energy()[self.sensor_mask()].max())
+
+    def steady_state_lifetime(self) -> float:
+        """Rounds until the first sensor node would exhaust its battery.
+
+        Steady-state extrapolation: capacity divided by the hotspot node's
+        mean per-round consumption.  Returns ``inf`` when no sensor node
+        consumed any energy.
+        """
+        hottest = self.max_mean_round_energy()
+        if hottest == 0.0:
+            return float("inf")
+        return self._model.initial_energy / hottest
+
+    def depletion_round(self) -> int | None:
+        """First archived round index at which some sensor battery ran dry.
+
+        Exact replay over the archived per-round history; ``None`` when all
+        sensor nodes survive every archived round.
+        """
+        if not self.round_energy_history:
+            return None
+        cumulative = np.zeros(self.num_vertices)
+        mask = self.sensor_mask()
+        for index, round_energy in enumerate(self.round_energy_history):
+            cumulative += round_energy
+            if (cumulative[mask] > self._model.initial_energy).any():
+                return index
+        return None
+
+    def totals(self) -> TrafficCounters:
+        """Network-wide cumulative totals."""
+        return TrafficCounters(
+            messages_sent=int(self.messages_sent.sum()),
+            bits_sent=int(self.bits_sent.sum()),
+            values_sent=int(self.values_sent.sum()),
+            energy=float(self.energy.sum()),
+        )

@@ -1,0 +1,65 @@
+"""Message sizing and fragmentation.
+
+A logical transmission carries ``payload_bits`` of application payload.  The
+MAC layer fragments it into frames of at most :data:`MAX_PAYLOAD_BITS`, each
+paying a :data:`HEADER_BITS` header (Section 5.1.4; 128-byte payloads and
+16-byte headers, simplified from IEEE 802.15.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import HEADER_BITS, MAX_PAYLOAD_BITS
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MessageCost:
+    """Frame-level cost of one logical transmission.
+
+    Attributes:
+        messages: number of MAC frames.
+        total_bits: bits on air, headers included.
+        payload_bits: application payload bits carried.
+    """
+
+    messages: int
+    total_bits: int
+    payload_bits: int
+
+
+def fragment_count(
+    payload_bits: int, max_payload_bits: int = MAX_PAYLOAD_BITS
+) -> int:
+    """Number of frames needed for ``payload_bits`` of payload.
+
+    A transmission with an empty payload still needs one frame (e.g. a pure
+    "wake up / no change" beacon), but algorithms in this package never send
+    empty transmissions — they simply stay silent — so callers typically
+    guard on ``payload_bits > 0``.
+    """
+    if payload_bits < 0:
+        raise ConfigurationError(f"payload_bits must be >= 0, got {payload_bits}")
+    if max_payload_bits <= 0:
+        raise ConfigurationError(
+            f"max_payload_bits must be positive, got {max_payload_bits}"
+        )
+    if payload_bits == 0:
+        return 1
+    return math.ceil(payload_bits / max_payload_bits)
+
+
+def message_bits(
+    payload_bits: int,
+    header_bits: int = HEADER_BITS,
+    max_payload_bits: int = MAX_PAYLOAD_BITS,
+) -> MessageCost:
+    """Frame count and on-air bits for one logical transmission."""
+    frames = fragment_count(payload_bits, max_payload_bits)
+    return MessageCost(
+        messages=frames,
+        total_bits=frames * header_bits + payload_bits,
+        payload_bits=payload_bits,
+    )

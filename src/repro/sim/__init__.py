@@ -1,0 +1,15 @@
+"""Round-based WSN simulation engine."""
+
+from repro.sim.engine import Payload, TreeNetwork
+from repro.sim.oracle import exact_quantile, quantile_rank
+from repro.sim.runner import RoundRecord, RunResult, SimulationRunner
+
+__all__ = [
+    "Payload",
+    "RoundRecord",
+    "RunResult",
+    "SimulationRunner",
+    "TreeNetwork",
+    "exact_quantile",
+    "quantile_rank",
+]

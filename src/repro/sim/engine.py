@@ -1,0 +1,187 @@
+"""Communication primitives over the routing tree.
+
+Two primitives cover everything the paper's algorithms do:
+
+* **convergecast** — leaf-to-root aggregation.  Every sensor node may
+  contribute a payload; payloads are merged bottom-up (TAG-style in-network
+  aggregation), and a vertex transmits to its parent iff its merged payload
+  is non-empty.  Merging is algorithm-specific (summing counters, unioning
+  multisets, adding histograms, pruning to the f largest values, ...), so
+  payloads implement the small :class:`Payload` interface.
+
+* **broadcast** — root-to-leaves flooding.  Every internal vertex
+  retransmits the payload once; every non-root vertex receives it once.
+  The paper's refinement requests and filter broadcasts must reach all
+  nodes (any node might hold a relevant value), so broadcasts always flood
+  the full tree.
+
+Energy and traffic are charged to the :class:`~repro.radio.EnergyLedger`
+exactly as described in Section 5.1.4: the sender pays
+``s * (alpha + beta * rho^p)``, every scheduled receiver pays ``s * alpha_r``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Optional, TypeVar
+
+from repro.errors import ProtocolError
+from repro.network.tree import RoutingTree
+from repro.radio.ledger import EnergyLedger
+from repro.radio.message import message_bits
+
+P = TypeVar("P", bound="Payload")
+
+
+class Payload(ABC):
+    """Application payload that knows how to merge and size itself.
+
+    Implementations must be *pure*: ``merged_with`` returns a new payload and
+    never mutates either operand, because the engine may merge in any order
+    along the tree.
+    """
+
+    @abstractmethod
+    def merged_with(self: P, other: P) -> P:
+        """Combine two payloads travelling through the same vertex."""
+
+    @abstractmethod
+    def payload_bits(self) -> int:
+        """Serialized payload size in bits (headers are added by the MAC)."""
+
+    def num_values(self) -> int:
+        """Raw measurements carried, for the transmitted-values statistic."""
+        return 0
+
+    def is_empty(self) -> bool:
+        """Empty payloads are not transmitted (the vertex stays silent)."""
+        return False
+
+
+class TreeNetwork:
+    """Binds a routing tree to an energy ledger and runs the primitives.
+
+    ``virtual_vertices`` marks *artificial child nodes* (Section 2: a node
+    producing multiple values is modelled as a node with artificial
+    children, one per extra value).  They participate in the protocols like
+    any sensor node but their link to the hosting vertex is device-internal:
+    no radio energy or message accounting is charged on it.  Virtual
+    vertices must be leaves.
+    """
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        ledger: EnergyLedger,
+        virtual_vertices: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        if tree.num_vertices != ledger.num_vertices:
+            raise ProtocolError(
+                f"tree has {tree.num_vertices} vertices but ledger has "
+                f"{ledger.num_vertices}"
+            )
+        if tree.root != ledger.root:
+            raise ProtocolError(
+                f"tree root {tree.root} differs from ledger root {ledger.root}"
+            )
+        virtual = frozenset(virtual_vertices)
+        for vertex in virtual:
+            if not 0 <= vertex < tree.num_vertices or vertex == tree.root:
+                raise ProtocolError(f"invalid virtual vertex {vertex}")
+            if not tree.is_leaf(vertex):
+                raise ProtocolError(
+                    f"virtual vertex {vertex} must be a leaf of the tree"
+                )
+        self.tree = tree
+        self.ledger = ledger
+        self.virtual_vertices = virtual
+        #: Completed tree traversals (convergecasts + broadcasts).  Each
+        #: traversal costs one tree depth of TDMA slots, so the runner
+        #: derives per-round latency from the delta of this counter — the
+        #: time-complexity dimension studied by [15].
+        self.exchanges = 0
+        #: Protocol phase the algorithms annotate before each primitive
+        #: ("initialization", "validation", "refinement", "filter", ...);
+        #: on-air bits are attributed to it in :attr:`phase_bits`.
+        self.phase = "other"
+        self.phase_bits: dict[str, int] = {}
+
+    @property
+    def num_sensor_nodes(self) -> int:
+        """Number of measuring nodes ``|N|``."""
+        return self.tree.num_sensor_nodes
+
+    def convergecast(
+        self, contributions: Mapping[int, P]
+    ) -> Optional[P]:
+        """Aggregate payloads leaf-to-root; return the merged root payload.
+
+        Args:
+            contributions: per-vertex local payloads.  Vertices absent from
+                the mapping (and vertices whose merged payload reports
+                ``is_empty()``) stay silent unless they must forward a
+                child's data.  A contribution keyed by the root itself is
+                merged into the result without radio cost.
+
+        Returns:
+            The payload as seen by the root, or ``None`` if nobody sent
+            anything.
+        """
+        tree = self.tree
+        self.exchanges += 1
+        accumulated: dict[int, P] = {}
+        for vertex, payload in contributions.items():
+            if payload.is_empty():
+                continue
+            accumulated[vertex] = payload
+
+        phase_total = 0
+        for vertex in tree.bottom_up_order:
+            if vertex == tree.root:
+                continue
+            merged = accumulated.get(vertex)
+            if merged is None:
+                continue
+            parent = tree.parent[vertex]
+            if vertex not in self.virtual_vertices:
+                cost = message_bits(merged.payload_bits())
+                self.ledger.charge_send(
+                    vertex,
+                    cost,
+                    values=merged.num_values(),
+                    link_distance=tree.link_distance[vertex],
+                )
+                self.ledger.charge_recv(parent, cost)
+                phase_total += cost.total_bits
+            existing = accumulated.get(parent)
+            accumulated[parent] = (
+                merged if existing is None else existing.merged_with(merged)
+            )
+        self.phase_bits[self.phase] = (
+            self.phase_bits.get(self.phase, 0) + phase_total
+        )
+        return accumulated.get(tree.root)
+
+    def broadcast(self, payload_bits: int) -> None:
+        """Flood ``payload_bits`` of payload from the root to every node.
+
+        Each internal vertex (root included) transmits once; each non-root
+        vertex receives once from its parent.
+        """
+        if payload_bits < 0:
+            raise ProtocolError(f"payload_bits must be >= 0, got {payload_bits}")
+        tree = self.tree
+        self.exchanges += 1
+        cost = message_bits(payload_bits)
+        phase_total = 0
+        for vertex in tree.internal_vertices():
+            self.ledger.charge_send(
+                vertex, cost, link_distance=tree.link_distance[vertex]
+            )
+            phase_total += cost.total_bits
+            for child in tree.children[vertex]:
+                if child not in self.virtual_vertices:
+                    self.ledger.charge_recv(child, cost)
+        self.phase_bits[self.phase] = (
+            self.phase_bits.get(self.phase, 0) + phase_total
+        )

@@ -1,0 +1,150 @@
+"""Round-driven simulation of one algorithm over one deployment.
+
+The runner owns the energy ledger, brackets every query round, feeds the
+algorithm the round's measurements and (optionally) asserts the distributed
+answer against the centralized oracle — all algorithms in this package are
+exact, so any deviation is an implementation bug and fails fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.network.tree import RoutingTree
+from repro.radio.energy import EnergyModel
+from repro.radio.ledger import EnergyLedger, TrafficCounters
+from repro.sim.engine import TreeNetwork
+from repro.sim.oracle import exact_quantile, quantile_rank
+from repro.types import RoundStats
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> sim import cycle
+    from repro.core.base import ContinuousQuantileAlgorithm
+
+#: Maps a round index to per-vertex measurements (root entry ignored).
+ValuesProvider = Callable[[int], np.ndarray]
+
+
+#: Public alias: one entry of :attr:`RunResult.rounds`.
+RoundRecord = RoundStats
+
+
+@dataclass
+class RunResult:
+    """Everything measured over one simulation run."""
+
+    algorithm: str
+    rounds: list[RoundStats] = field(default_factory=list)
+    max_mean_round_energy_j: float = 0.0
+    lifetime_rounds: float = float("inf")
+    totals: TrafficCounters | None = None
+    #: On-air bits attributed to each protocol phase over the whole run
+    #: (initialization / validation / refinement / filter / collection).
+    phase_bits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of completed rounds, initialization included."""
+        return len(self.rounds)
+
+    @property
+    def total_refinements(self) -> int:
+        """Refinement exchanges summed over all rounds."""
+        return sum(record.outcome.refinements for record in self.rounds)
+
+    @property
+    def quantile_series(self) -> list[int]:
+        """The reported quantile of every round."""
+        return [record.outcome.quantile for record in self.rounds]
+
+    @property
+    def all_exact(self) -> bool:
+        """True when every round matched the centralized oracle."""
+        return all(record.exact for record in self.rounds)
+
+
+class SimulationRunner:
+    """Drives a continuous quantile algorithm over a fixed routing tree.
+
+    Args:
+        tree: the deployment's routing tree.
+        radio_range: nominal radio range for the energy model [m].
+        energy_model: radio cost parameters.
+        check: assert each round's answer against the oracle (default on;
+            benchmarks may disable it to measure pure protocol cost).
+    """
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        radio_range: float,
+        energy_model: EnergyModel | None = None,
+        check: bool = True,
+    ) -> None:
+        self.tree = tree
+        self.radio_range = radio_range
+        self.energy_model = energy_model or EnergyModel()
+        self.check = check
+
+    def run(
+        self,
+        algorithm: "ContinuousQuantileAlgorithm",
+        values_provider: ValuesProvider,
+        num_rounds: int,
+    ) -> RunResult:
+        """Execute ``num_rounds`` rounds (round 0 is the initialization)."""
+        if num_rounds < 1:
+            raise ProtocolError(f"num_rounds must be >= 1, got {num_rounds}")
+        ledger = EnergyLedger(
+            num_vertices=self.tree.num_vertices,
+            root=self.tree.root,
+            model=self.energy_model,
+            radio_range=self.radio_range,
+        )
+        net = TreeNetwork(self.tree, ledger)
+        k = quantile_rank(net.num_sensor_nodes, algorithm.spec.phi)
+        result = RunResult(algorithm=algorithm.name)
+
+        previous_messages = previous_values_sent = previous_exchanges = 0
+        for round_index in range(num_rounds):
+            values = np.asarray(values_provider(round_index))
+            ledger.begin_round()
+            if round_index == 0:
+                outcome = algorithm.initialize(net, values)
+            else:
+                outcome = algorithm.update(net, values)
+            round_energy = ledger.end_round()
+
+            sensor_values = values[list(self.tree.sensor_nodes)]
+            truth = exact_quantile(sensor_values, k)
+            if self.check and outcome.quantile != truth:
+                raise ProtocolError(
+                    f"{algorithm.name} round {round_index}: computed "
+                    f"{outcome.quantile} but the exact quantile is {truth}"
+                )
+            mask = ledger.sensor_mask()
+            total_messages = int(ledger.messages_sent.sum())
+            total_values = int(ledger.values_sent.sum())
+            result.rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    outcome=outcome,
+                    true_quantile=truth,
+                    max_sensor_energy_j=float(round_energy[mask].max()),
+                    total_energy_j=float(round_energy.sum()),
+                    messages_sent=total_messages - previous_messages,
+                    values_sent=total_values - previous_values_sent,
+                    exchanges=net.exchanges - previous_exchanges,
+                )
+            )
+            previous_messages, previous_values_sent = total_messages, total_values
+            previous_exchanges = net.exchanges
+
+        result.max_mean_round_energy_j = ledger.max_mean_round_energy()
+        result.lifetime_rounds = ledger.steady_state_lifetime()
+        result.totals = ledger.totals()
+        result.phase_bits = dict(net.phase_bits)
+        return result

@@ -1,0 +1,5 @@
+"""One-shot (snapshot) quantile queries: TAG collection and [21]'s b-ary search."""
+
+from repro.snapshot.bary import SnapshotResult, bary_snapshot, tag_snapshot
+
+__all__ = ["SnapshotResult", "bary_snapshot", "tag_snapshot"]

@@ -1,0 +1,178 @@
+"""Snapshot quantile queries (the authors' prior work [21], used in §4.1/4.2.1).
+
+Two one-shot strategies compute the k-th value of the *current* round:
+
+* :func:`tag_snapshot` — TAG-style pruned collection (what POS/HBC/IQ use
+  to initialize by default);
+* :func:`bary_snapshot` — the cost-model b-ary histogram search of [21]:
+  repeatedly partition the candidate interval into ``b`` buckets, collect
+  the aggregated histogram, descend into the bucket holding rank ``k``;
+  finishes with a direct value request once few candidates remain.
+
+Both return the quantile, exact root counters relative to it (so a
+continuous algorithm can warm-start from the result) and the ascending
+candidate values the root received.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    REFINEMENT_REQUEST_BITS,
+    VALUE_BITS,
+    VALUES_PER_MESSAGE,
+)
+from repro.core.base import RootCounters, tag_initialization
+from repro.core.cost_model import rounded_optimal_buckets
+from repro.core.histogram import make_grid
+from repro.core.payloads import HistogramPayload, ValueSetPayload
+from repro.errors import ProtocolError
+from repro.sim.engine import TreeNetwork
+
+
+@dataclass(frozen=True)
+class SnapshotResult:
+    """Outcome of a one-shot quantile query."""
+
+    quantile: int
+    counters: RootCounters
+    received_values: tuple[int, ...]
+    refinements: int
+
+
+def tag_snapshot(net: TreeNetwork, values: np.ndarray, k: int) -> SnapshotResult:
+    """One-shot quantile via TAG collection (k-pruned, ties kept)."""
+    quantile, counters, smallest = tag_initialization(net, values, k)
+    return SnapshotResult(
+        quantile=quantile,
+        counters=counters,
+        received_values=smallest,
+        refinements=0,
+    )
+
+
+def bary_snapshot(
+    net: TreeNetwork,
+    values: np.ndarray,
+    k: int,
+    r_min: int,
+    r_max: int,
+    num_buckets: int | None = None,
+    direct_request_limit: int = VALUES_PER_MESSAGE,
+) -> SnapshotResult:
+    """One-shot quantile via [21]'s cost-model b-ary histogram search.
+
+    Args:
+        net: the network to query.
+        values: current per-vertex measurements.
+        k: 1-indexed rank to retrieve.
+        r_min / r_max: the integer measurement universe.
+        num_buckets: histogram fan-out; ``None`` = Lambert-W optimum.
+        direct_request_limit: request raw values once at most this many
+            candidates remain (0 disables; the search then descends to a
+            width-1 bucket).
+    """
+    if not 1 <= k <= net.num_sensor_nodes:
+        raise ProtocolError(f"rank {k} out of range for {net.num_sensor_nodes} nodes")
+    buckets = rounded_optimal_buckets() if num_buckets is None else num_buckets
+    if buckets < 2:
+        raise ProtocolError(f"need at least 2 buckets, got {buckets}")
+
+    low, high = r_min, r_max
+    below = 0
+    inside = net.num_sensor_nodes
+    refinements = 0
+    while True:
+        if 0 < direct_request_limit and inside <= direct_request_limit:
+            return _direct(net, values, k, low, high, below, refinements)
+
+        net.broadcast(REFINEMENT_REQUEST_BITS)
+        refinements += 1
+        grid = make_grid(low, high, buckets)
+        counts = _collect_histogram(net, values, grid)
+        inside = sum(counts)
+        target = k - below - 1
+        if not 0 <= target < inside:
+            raise ProtocolError(f"rank {k} not inside [{low}, {high}]")
+        bucket, skipped = _locate(counts, target)
+        bucket_low, bucket_high = grid.bucket_bounds(bucket)
+        if bucket_low == bucket_high:
+            quantile = bucket_low
+            less = below + skipped
+            counters = RootCounters(
+                l=less,
+                e=counts[bucket],
+                g=net.num_sensor_nodes - less - counts[bucket],
+            )
+            return SnapshotResult(
+                quantile=quantile,
+                counters=counters,
+                received_values=(),
+                refinements=refinements,
+            )
+        below += skipped
+        inside = counts[bucket]
+        low, high = bucket_low, bucket_high
+
+
+def _direct(
+    net: TreeNetwork,
+    values: np.ndarray,
+    k: int,
+    low: int,
+    high: int,
+    below: int,
+    refinements: int,
+) -> SnapshotResult:
+    net.broadcast(2 * VALUE_BITS)
+    contributions = {
+        vertex: ValueSetPayload(values=(int(values[vertex]),))
+        for vertex in net.tree.sensor_nodes
+        if low <= int(values[vertex]) <= high
+    }
+    merged = net.convergecast(contributions)
+    received = merged.values if merged is not None else ()
+    index = k - below - 1
+    if not 0 <= index < len(received):
+        raise ProtocolError(
+            f"direct request returned {len(received)} values, offset {index}"
+        )
+    quantile = received[index]
+    less = below + sum(1 for value in received if value < quantile)
+    equal = sum(1 for value in received if value == quantile)
+    counters = RootCounters(
+        l=less, e=equal, g=net.num_sensor_nodes - less - equal
+    )
+    return SnapshotResult(
+        quantile=quantile,
+        counters=counters,
+        received_values=received,
+        refinements=refinements,
+    )
+
+
+def _collect_histogram(net: TreeNetwork, values: np.ndarray, grid) -> tuple[int, ...]:
+    contributions: dict[int, HistogramPayload] = {}
+    for vertex in net.tree.sensor_nodes:
+        value = int(values[vertex])
+        if not grid.low <= value <= grid.high:
+            continue
+        counts = [0] * grid.num_buckets
+        counts[grid.bucket_of(value)] = 1
+        contributions[vertex] = HistogramPayload(counts=tuple(counts))
+    merged = net.convergecast(contributions)
+    if merged is None:
+        return (0,) * grid.num_buckets
+    return merged.counts
+
+
+def _locate(counts: tuple[int, ...], target: int) -> tuple[int, int]:
+    skipped = 0
+    for index, count in enumerate(counts):
+        if target < skipped + count:
+            return index, skipped
+        skipped += count
+    raise ProtocolError(f"rank {target} beyond histogram total {skipped}")

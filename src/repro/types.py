@@ -1,0 +1,95 @@
+"""Shared value types used across algorithms, datasets and the runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A continuous φ-quantile query over an integer measurement universe.
+
+    Attributes:
+        phi: quantile parameter in [0, 1]; 0.5 is the median.
+        r_min: smallest possible measurement (inclusive).
+        r_max: largest possible measurement (inclusive).
+    """
+
+    phi: float = 0.5
+    r_min: int = 0
+    r_max: int = 1023
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.phi <= 1.0:
+            raise ConfigurationError(f"phi must be in [0, 1], got {self.phi}")
+        if self.r_min > self.r_max:
+            raise ConfigurationError(
+                f"empty measurement universe [{self.r_min}, {self.r_max}]"
+            )
+
+    @property
+    def universe_size(self) -> int:
+        """Number of representable values ``tau = r_max - r_min + 1``."""
+        return self.r_max - self.r_min + 1
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What one query round produced, for diagnostics and assertions.
+
+    Attributes:
+        quantile: the exact k-th value the root computed this round.
+        refinements: refinement convergecasts performed after validation
+            (0 when validation alone settled the round).
+        direct_request: True when the round used a "ship raw values"
+            shortcut instead of (or after) histogram/binary refinement.
+        filter_broadcast: True when the root broadcast a new filter value at
+            the end of the round.
+    """
+
+    quantile: int
+    refinements: int = 0
+    direct_request: bool = False
+    filter_broadcast: bool = False
+
+
+@dataclass
+class RoundStats:
+    """Per-round measurements recorded by the simulation runner."""
+
+    round_index: int
+    outcome: RoundOutcome
+    true_quantile: int
+    max_sensor_energy_j: float
+    total_energy_j: float
+    messages_sent: int
+    values_sent: int
+    #: Tree traversals (convergecasts + broadcasts) this round took; each
+    #: costs one tree depth of TDMA slots, so this is the round's latency
+    #: in traversal units (cf. the time complexity analysis of [15]).
+    exchanges: int = 0
+
+    @property
+    def exact(self) -> bool:
+        """True when the distributed answer matched the oracle."""
+        return self.outcome.quantile == self.true_quantile
+
+    @property
+    def rank_error_value(self) -> int:
+        """Absolute value difference to the oracle (0 for exact algorithms)."""
+        return abs(self.outcome.quantile - self.true_quantile)
+
+
+@dataclass
+class IQDiagnostics:
+    """IQ-internal trace of one round, used to regenerate Figure 4."""
+
+    quantile: int
+    xi_left: int
+    xi_right: int
+    values_in_xi: int
+    refined: bool
+    network_min: int | None = None
+    network_max: int | None = None

@@ -1,0 +1,5 @@
+"""Dependency-free text visualizations of experiment output."""
+
+from repro.viz.ascii import render_series, render_xi_trace
+
+__all__ = ["render_series", "render_xi_trace"]

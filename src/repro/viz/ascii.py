@@ -1,0 +1,107 @@
+"""ASCII renderings of the paper's figures (no plotting dependencies).
+
+Two renderers cover what the paper plots:
+
+* :func:`render_xi_trace` draws Figure 4's content — one row per round,
+  showing the network's value range (``.``), the band Ξ (``=``), the
+  quantile (``#``) and refinement rounds (``!`` in the margin);
+* :func:`render_series` draws one sweep metric as a multi-line chart,
+  one symbol per algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import IQDiagnostics
+
+#: Symbols assigned to algorithms in multi-series charts, in order.
+SERIES_SYMBOLS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_xi_trace(
+    rounds: Sequence[IQDiagnostics], width: int = 72
+) -> str:
+    """Figure 4 as text: the band Ξ hugging the quantile, round by round."""
+    if not rounds:
+        raise ConfigurationError("nothing to render: empty diagnostics")
+    if width < 16:
+        raise ConfigurationError(f"width must be >= 16, got {width}")
+    lows = [d.network_min for d in rounds if d.network_min is not None]
+    highs = [d.network_max for d in rounds if d.network_max is not None]
+    if not lows or not highs:
+        raise ConfigurationError(
+            "diagnostics lack network_min/max; run IQ with record_diagnostics"
+        )
+    low, high = min(lows), max(highs)
+    span = max(high - low, 1)
+
+    def column(value: int) -> int:
+        return min(width - 1, max(0, round((value - low) / span * (width - 1))))
+
+    lines = [
+        f"value range [{low}, {high}]  "
+        f"(. network range, = band Xi, # quantile, ! refinement)"
+    ]
+    for index, diag in enumerate(rounds):
+        row = [" "] * width
+        if diag.network_min is not None and diag.network_max is not None:
+            for position in range(column(diag.network_min), column(diag.network_max) + 1):
+                row[position] = "."
+        band_low = column(diag.quantile + diag.xi_left)
+        band_high = column(diag.quantile + diag.xi_right)
+        for position in range(band_low, band_high + 1):
+            row[position] = "="
+        row[column(diag.quantile)] = "#"
+        marker = "!" if diag.refined else " "
+        lines.append(f"{index:4d} {marker} {''.join(row)}")
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 16,
+    width: int = 64,
+    title: str | None = None,
+) -> str:
+    """One metric of a sweep as a scatter chart, one letter per algorithm."""
+    if not xs or not series:
+        raise ConfigurationError("nothing to render: empty series")
+    if height < 4 or width < 16:
+        raise ConfigurationError("chart too small to be legible")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points for {len(xs)} xs"
+            )
+
+    all_values = [v for values in series.values() for v in values]
+    v_low, v_high = min(all_values), max(all_values)
+    v_span = (v_high - v_low) or 1.0
+    x_low, x_high = min(xs), max(xs)
+    x_span = (x_high - x_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = {}
+    for symbol, (name, values) in zip(SERIES_SYMBOLS, series.items()):
+        legend[symbol] = name
+        for x, value in zip(xs, values):
+            col = round((x - x_low) / x_span * (width - 1))
+            row = round((v_high - value) / v_span * (height - 1))
+            grid[row][col] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{v_high:12.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{v_low:12.4g} +" + "-" * width)
+    lines.append(" " * 14 + f"{x_low:<10g}{'':{max(0, width - 20)}}{x_high:>10g}")
+    lines.append(
+        "legend: "
+        + "  ".join(f"{symbol}={name}" for symbol, name in legend.items())
+    )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Shared fixtures: small deterministic deployments and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.routing import build_routing_tree
+from repro.network.topology import connected_random_graph
+from repro.network.tree import RoutingTree, tree_from_parents
+from repro.radio.energy import EnergyModel
+from repro.radio.ledger import EnergyLedger
+from repro.sim.engine import TreeNetwork
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_tree() -> RoutingTree:
+    """A hand-built 8-vertex tree (root 0) used by unit tests.
+
+    Shape::
+
+        0
+        ├── 1
+        │   ├── 3
+        │   └── 4
+        │       └── 6
+        └── 2
+            ├── 5
+            └── 7
+    """
+    parent = [-1, 0, 0, 1, 1, 2, 4, 2]
+    return tree_from_parents(0, parent)
+
+
+@pytest.fixture
+def small_net(small_tree: RoutingTree) -> TreeNetwork:
+    ledger = EnergyLedger(
+        num_vertices=small_tree.num_vertices,
+        root=small_tree.root,
+        model=EnergyModel(),
+        radio_range=35.0,
+    )
+    ledger.begin_round()
+    return TreeNetwork(small_tree, ledger)
+
+
+@pytest.fixture
+def random_deployment(rng: np.random.Generator):
+    """A connected 60-node random deployment plus its routing tree."""
+    graph = connected_random_graph(61, radio_range=45.0, rng=rng)
+    tree = build_routing_tree(graph, root=0)
+    return graph, tree
+
+
+def make_network(tree: RoutingTree, radio_range: float = 35.0) -> TreeNetwork:
+    """Fresh network + open-round ledger for a tree (helper for tests)."""
+    ledger = EnergyLedger(
+        num_vertices=tree.num_vertices,
+        root=tree.root,
+        model=EnergyModel(),
+        radio_range=radio_range,
+    )
+    ledger.begin_round()
+    return TreeNetwork(tree, ledger)

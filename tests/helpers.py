@@ -1,0 +1,72 @@
+"""Shared helpers for algorithm tests: drive algorithms over value sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import ContinuousQuantileAlgorithm
+from repro.network.tree import RoutingTree
+from repro.radio.energy import EnergyModel
+from repro.radio.ledger import EnergyLedger
+from repro.sim.engine import TreeNetwork
+from repro.sim.oracle import exact_quantile, quantile_rank
+from repro.types import RoundOutcome
+
+
+def drive(
+    algorithm: ContinuousQuantileAlgorithm,
+    tree: RoutingTree,
+    rounds: list[np.ndarray],
+    radio_range: float = 35.0,
+    check: bool = True,
+) -> tuple[list[RoundOutcome], TreeNetwork]:
+    """Run ``algorithm`` over explicit per-round value arrays.
+
+    With ``check`` every round's answer is asserted against the oracle.
+    Returns the outcomes and the network (for traffic inspection).
+    """
+    ledger = EnergyLedger(
+        num_vertices=tree.num_vertices,
+        root=tree.root,
+        model=EnergyModel(),
+        radio_range=radio_range,
+    )
+    net = TreeNetwork(tree, ledger)
+    k = quantile_rank(tree.num_sensor_nodes, algorithm.spec.phi)
+    sensors = list(tree.sensor_nodes)
+
+    outcomes: list[RoundOutcome] = []
+    for index, values in enumerate(rounds):
+        values = np.asarray(values)
+        ledger.begin_round()
+        if index == 0:
+            outcome = algorithm.initialize(net, values)
+        else:
+            outcome = algorithm.update(net, values)
+        ledger.end_round()
+        if check:
+            truth = exact_quantile(values[sensors], k)
+            assert outcome.quantile == truth, (
+                f"{algorithm.name} round {index}: got {outcome.quantile}, "
+                f"oracle says {truth}"
+            )
+        outcomes.append(outcome)
+    return outcomes, net
+
+
+def random_rounds(
+    rng: np.random.Generator,
+    num_vertices: int,
+    num_rounds: int,
+    low: int,
+    high: int,
+    drift: float = 0.0,
+) -> list[np.ndarray]:
+    """Random integer value sequences, optionally with a shared linear drift."""
+    base = rng.integers(low, high + 1, size=num_vertices)
+    rounds = []
+    for t in range(num_rounds):
+        noise = rng.integers(-3, 4, size=num_vertices)
+        values = np.clip(base + noise + int(round(drift * t)), low, high)
+        rounds.append(values.astype(np.int64))
+    return rounds

@@ -1,0 +1,96 @@
+"""Unit tests for the adaptive algorithm-switching extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pos import POS
+from repro.core.hbc import HBC
+from repro.core.iq import IQ
+from repro.errors import ConfigurationError
+from repro.extensions.adaptive import AdaptiveQuantile
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+
+def spec(r_max: int = 1000) -> QuerySpec:
+    return QuerySpec(phi=0.5, r_min=0, r_max=r_max)
+
+
+class TestAdaptiveCorrectness:
+    def test_exact_across_switches(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 40, 0, 1000, drift=4.0)
+        algorithm = AdaptiveQuantile(spec(), probe_every=8, probe_rounds=3)
+        drive(algorithm, tree, rounds)  # drive() oracle-checks every round
+        assert algorithm.switches >= 1
+
+    def test_exact_with_three_candidates(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 30, 0, 1000, drift=-3.0)
+        algorithm = AdaptiveQuantile(
+            spec(), candidates=[IQ, HBC, POS], probe_every=6, probe_rounds=2
+        )
+        drive(algorithm, tree, rounds)
+        assert algorithm.switches >= 2
+
+    def test_exact_on_static_values(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        algorithm = AdaptiveQuantile(spec(), probe_every=4, probe_rounds=1)
+        outcomes, _ = drive(algorithm, small_tree, [values] * 12)
+        assert all(o.quantile == 30 for o in outcomes)
+
+    def test_exact_with_duplicates_across_switch(self, small_tree):
+        a = np.array([0, 5, 5, 5, 9, 9, 9, 9])
+        b = np.array([0, 9, 9, 5, 5, 5, 9, 9])
+        algorithm = AdaptiveQuantile(spec(20), probe_every=3, probe_rounds=1)
+        drive(algorithm, small_tree, [a, b, a, b, a, b, a, b])
+
+
+class TestAdaptiveBehaviour:
+    def test_settles_on_iq_under_temporal_correlation(
+        self, random_deployment, rng
+    ):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 50, 0, 2000, drift=2.0)
+        algorithm = AdaptiveQuantile(spec(2000), probe_every=10, probe_rounds=3)
+        drive(algorithm, tree, rounds)
+        # Smoothly drifting values are IQ's regime (cf. Section 5.2.2).
+        assert algorithm.active.name == "IQ"
+
+    def test_cost_estimates_populated_for_all_candidates(
+        self, random_deployment, rng
+    ):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 30, 0, 1000, drift=3.0)
+        algorithm = AdaptiveQuantile(spec(), probe_every=8, probe_rounds=2)
+        drive(algorithm, tree, rounds)
+        assert all(e is not None for e in algorithm._cost_estimate)
+
+    def test_switch_charges_traffic(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 1000)
+        with_switch = AdaptiveQuantile(spec(), probe_every=5, probe_rounds=2)
+        _, net = drive(with_switch, tree, rounds)
+        assert with_switch.switches >= 1
+        assert net.ledger.totals().energy > 0
+
+    def test_rejects_single_candidate(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveQuantile(spec(), candidates=[IQ])
+
+    def test_rejects_bad_probe_schedule(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveQuantile(spec(), probe_every=3, probe_rounds=3)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveQuantile(spec(), smoothing=0.0)
+
+    def test_rejects_candidate_without_warm_start(self):
+        from repro.baselines.tag import TAG
+
+        with pytest.raises(ConfigurationError):
+            AdaptiveQuantile(spec(), candidates=[IQ, TAG])

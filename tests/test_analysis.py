@@ -1,0 +1,126 @@
+"""Unit and property tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    crossover_points,
+    dominance_summary,
+    relative_improvement,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBootstrapMeanCI:
+    def test_contains_true_mean_for_tight_samples(self):
+        ci = bootstrap_mean_ci([5.0, 5.1, 4.9, 5.0, 5.05])
+        assert ci.contains(5.0)
+        assert ci.width < 0.5
+
+    def test_single_sample_degenerates(self):
+        ci = bootstrap_mean_ci([7.0])
+        assert ci.mean == ci.low == ci.high == 7.0
+
+    def test_deterministic_under_seed(self):
+        a = bootstrap_mean_ci([1, 2, 3, 4], seed=5)
+        b = bootstrap_mean_ci([1, 2, 3, 4], seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_wider_at_higher_confidence(self):
+        samples = list(np.random.default_rng(0).normal(0, 1, 30))
+        narrow = bootstrap_mean_ci(samples, confidence=0.8)
+        wide = bootstrap_mean_ci(samples, confidence=0.99)
+        assert wide.width > narrow.width
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([1.0], confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([1.0], resamples=0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=40))
+    def test_interval_brackets_sample_mean(self, samples):
+        ci = bootstrap_mean_ci(samples, seed=1)
+        assert ci.low <= ci.mean <= ci.high
+
+
+class TestRelativeImprovement:
+    def test_basic(self):
+        assert relative_improvement(100.0, 75.0) == pytest.approx(0.25)
+        assert relative_improvement(100.0, 150.0) == pytest.approx(-0.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_improvement(0.0, 1.0)
+
+
+class TestDominanceSummary:
+    def test_counts_wins(self):
+        series = {"A": [1.0, 5.0, 1.0], "B": [2.0, 1.0, 2.0]}
+        assert dominance_summary(series) == {"A": 2, "B": 1}
+
+    def test_ties_award_both(self):
+        series = {"A": [1.0], "B": [1.0]}
+        assert dominance_summary(series) == {"A": 1, "B": 1}
+
+    def test_higher_is_better_mode(self):
+        series = {"A": [1.0, 5.0], "B": [2.0, 1.0]}
+        assert dominance_summary(series, lower_is_better=False) == {
+            "A": 1,
+            "B": 1,
+        }
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominance_summary({"A": [1.0], "B": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominance_summary({})
+
+
+class TestCrossoverPoints:
+    def test_simple_crossover(self):
+        xs = [0.0, 1.0]
+        crossings = crossover_points(xs, [0.0, 2.0], [1.0, 1.0])
+        assert crossings == [pytest.approx(0.5)]
+
+    def test_no_crossover(self):
+        assert crossover_points([0, 1, 2], [1, 2, 3], [5, 6, 7]) == []
+
+    def test_tie_at_grid_point(self):
+        crossings = crossover_points([0, 1, 2], [0, 1, 2], [2, 1, 0])
+        assert crossings == [1.0]
+
+    def test_multiple_crossings(self):
+        xs = [0, 1, 2, 3]
+        crossings = crossover_points(xs, [0, 2, 0, 2], [1, 1, 1, 1])
+        assert len(crossings) == 3
+
+    def test_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            crossover_points([0], [1], [2])
+        with pytest.raises(ConfigurationError):
+            crossover_points([0, 1], [1], [2, 3])
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.floats(-10, 10), min_size=2, max_size=10),
+        st.lists(st.floats(-10, 10), min_size=2, max_size=10),
+    )
+    def test_crossings_inside_sweep_range(self, first, second):
+        length = min(len(first), len(second))
+        xs = list(range(length))
+        crossings = crossover_points(
+            xs, first[:length], second[:length]
+        )
+        for x in crossings:
+            assert xs[0] <= x <= xs[-1]

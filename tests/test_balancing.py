@@ -1,0 +1,113 @@
+"""Unit tests for randomized routing trees and tree-rotation balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pos import POS
+from repro.core.iq import IQ
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.errors import ConfigurationError, ProtocolError, TopologyError
+from repro.extensions.balancing import RotatingTreeRunner
+from repro.network.routing import (
+    build_randomized_routing_tree,
+    build_routing_tree,
+)
+from repro.network.topology import build_physical_graph, connected_random_graph
+from repro.sim.runner import SimulationRunner
+from repro.types import QuerySpec
+
+
+class TestRandomizedRoutingTree:
+    def test_preserves_min_hop_depths(self, random_deployment, rng):
+        graph, reference = random_deployment
+        randomized = build_randomized_routing_tree(graph, rng, root=0)
+        assert randomized.depth == reference.depth
+
+    def test_edges_are_physical(self, random_deployment, rng):
+        graph, _ = random_deployment
+        tree = build_randomized_routing_tree(graph, rng, root=0)
+        for vertex in range(1, tree.num_vertices):
+            assert tree.parent[vertex] in graph.neighbors(vertex)
+
+    def test_different_seeds_give_different_trees(self, random_deployment):
+        graph, _ = random_deployment
+        a = build_randomized_routing_tree(graph, np.random.default_rng(1))
+        b = build_randomized_routing_tree(graph, np.random.default_rng(2))
+        assert a.parent != b.parent
+
+    def test_disconnected_raises(self):
+        positions = np.array([[0.0, 0.0], [100.0, 0.0]])
+        graph = build_physical_graph(positions, 10.0)
+        with pytest.raises(TopologyError):
+            build_randomized_routing_tree(graph, np.random.default_rng(0))
+
+    def test_invalid_root_raises(self, random_deployment, rng):
+        graph, _ = random_deployment
+        with pytest.raises(TopologyError):
+            build_randomized_routing_tree(graph, rng, root=999)
+
+
+@pytest.fixture(scope="module")
+def balancing_setup():
+    rng = np.random.default_rng(61)
+    graph = connected_random_graph(151, radio_range=35.0, rng=rng)
+    workload = SyntheticWorkload(graph.positions, rng, period=40)
+    return graph, workload
+
+
+class TestRotatingTreeRunner:
+    def test_exact_across_rotations(self, balancing_setup):
+        graph, workload = balancing_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        runner = RotatingTreeRunner(
+            graph, 35.0, np.random.default_rng(1), rebuild_every=7
+        )
+        result = runner.run(IQ(spec), workload.values, 40)
+        assert result.all_exact
+
+    @pytest.mark.parametrize("factory", [IQ, POS])
+    def test_rotation_extends_lifetime(self, balancing_setup, factory):
+        graph, workload = balancing_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        fixed = SimulationRunner(build_routing_tree(graph, 0), 35.0)
+        fixed_result = fixed.run(factory(spec), workload.values, 60)
+        rotating = RotatingTreeRunner(
+            graph, 35.0, np.random.default_rng(3), rebuild_every=10
+        )
+        rotating_result = rotating.run(factory(spec), workload.values, 60)
+        assert (
+            rotating_result.lifetime_rounds > fixed_result.lifetime_rounds * 0.95
+        )
+
+    def test_zero_rebuild_matches_fixed_tree_behaviour(self, balancing_setup):
+        graph, workload = balancing_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        runner = RotatingTreeRunner(
+            graph, 35.0, np.random.default_rng(4), rebuild_every=0
+        )
+        result = runner.run(IQ(spec), workload.values, 20)
+        assert result.all_exact
+        assert result.num_rounds == 20
+
+    def test_exchange_counter_survives_rotation(self, balancing_setup):
+        graph, workload = balancing_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        runner = RotatingTreeRunner(
+            graph, 35.0, np.random.default_rng(5), rebuild_every=5
+        )
+        result = runner.run(IQ(spec), workload.values, 20)
+        assert all(record.exchanges >= 0 for record in result.rounds)
+        assert sum(record.exchanges for record in result.rounds) > 0
+
+    def test_invalid_arguments_rejected(self, balancing_setup):
+        graph, workload = balancing_setup
+        with pytest.raises(ConfigurationError):
+            RotatingTreeRunner(
+                graph, 35.0, np.random.default_rng(0), rebuild_every=-1
+            )
+        runner = RotatingTreeRunner(graph, 35.0, np.random.default_rng(0))
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        with pytest.raises(ProtocolError):
+            runner.run(IQ(spec), workload.values, 0)

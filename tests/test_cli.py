@@ -1,0 +1,77 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.nodes == 150
+        assert args.phi == 0.5
+
+    def test_sweep_variable_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "bogus"])
+
+    def test_loss_rates_parsed(self):
+        args = build_parser().parse_args(["loss", "--rates", "0", "0.1"])
+        assert args.rates == [0.0, 0.1]
+
+
+class TestCommands:
+    def test_run_prints_comparison(self, capsys):
+        code = main(["run", "--nodes", "50", "--rounds", "12", "--runs", "1",
+                     "--range", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IQ" in out and "TAG" in out
+        assert "maxE [mJ]" in out
+        assert "True" in out  # exactness column
+
+    def test_sweep_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.08")
+        code = main(["sweep", "noise_percent"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "noise_percent=0" in out
+        assert "IQ" in out
+
+    def test_sweep_chart_flag(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        code = main(["sweep", "noise_percent", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "F=IQ" in out
+
+    def test_xi_trace_prints_chart(self, capsys):
+        code = main(["xi-trace", "--rounds", "10", "--nodes", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert "band-contains-next-quantile ratio" in out
+
+    def test_loss_prints_series(self, capsys):
+        code = main(
+            ["loss", "--rates", "0", "--nodes", "40", "--rounds", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank-err" in out
+        assert "TAG" in out
+
+    def test_pressure_prints_table(self, capsys, monkeypatch):
+        code = main(["pressure", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skip=1" in out
+        assert "air pressure" in out

@@ -1,0 +1,191 @@
+"""Unit tests for the shared algorithm machinery (repro.core.base)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import (
+    EQ,
+    GT,
+    LT,
+    RootCounters,
+    build_validation,
+    classify,
+    classify_interval,
+    hint_bounds,
+    tag_initialization,
+)
+from repro.core.payloads import ValidationPayload
+from repro.errors import ProtocolError
+from repro.sim.oracle import rank_of_value
+from repro.types import QuerySpec
+
+
+class TestClassify:
+    def test_single_value_filter(self):
+        assert classify(4, 5) == LT
+        assert classify(5, 5) == EQ
+        assert classify(6, 5) == GT
+
+    def test_interval_filter(self):
+        assert classify_interval(1, 3, 7) == LT
+        assert classify_interval(3, 3, 7) == EQ
+        assert classify_interval(7, 3, 7) == EQ
+        assert classify_interval(8, 3, 7) == GT
+
+
+class TestRootCounters:
+    def test_position_of_rank(self):
+        counters = RootCounters(l=4, e=2, g=4)
+        assert counters.position_of_rank(4) == LT
+        assert counters.position_of_rank(5) == EQ
+        assert counters.position_of_rank(6) == EQ
+        assert counters.position_of_rank(7) == GT
+
+    def test_is_valid(self):
+        counters = RootCounters(l=2, e=1, g=2)
+        assert counters.is_valid(3)
+        assert not counters.is_valid(2)
+        assert not counters.is_valid(4)
+
+    def test_apply_validation(self):
+        counters = RootCounters(l=3, e=2, g=5)
+        counters.apply_validation(
+            ValidationPayload(into_lt=2, outof_lt=1, into_gt=0, outof_gt=3)
+        )
+        assert (counters.l, counters.e, counters.g) == (4, 4, 2)
+        assert counters.total == 10
+
+    def test_negative_counts_rejected(self):
+        counters = RootCounters(l=0, e=1, g=1)
+        with pytest.raises(ProtocolError):
+            counters.apply_validation(ValidationPayload(outof_lt=1))
+
+    def test_rank_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError):
+            RootCounters(l=1, e=1, g=1).position_of_rank(4)
+
+
+class TestBuildValidation:
+    def test_only_changed_nodes_contribute(self, small_net):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        old_state = np.array([0, -1, -1, 1, 1, 0, -1, 1], dtype=np.int8)
+        new_state = np.array([0, -1, 1, 1, -1, 0, -1, 1], dtype=np.int8)
+        contributions = build_validation(
+            small_net, values, old_state, new_state, hint_values=2
+        )
+        assert set(contributions) == {2, 4}
+        # Vertex 2 moved lt -> gt.
+        payload = contributions[2]
+        assert payload.outof_lt == 1 and payload.into_gt == 1
+        assert payload.hint_min == payload.hint_max == 20
+        # Vertex 4 moved gt -> lt.
+        payload = contributions[4]
+        assert payload.outof_gt == 1 and payload.into_lt == 1
+
+    def test_counter_semantics_match_root_update(self, small_net, rng):
+        """Applying merged validation reproduces the true (l, e, g)."""
+        filter_value = 50
+        old_values = rng.integers(0, 100, size=8)
+        new_values = rng.integers(0, 100, size=8)
+        old_state = np.sign(old_values - filter_value).astype(np.int8)
+        new_state = np.sign(new_values - filter_value).astype(np.int8)
+        old_state[0] = new_state[0] = 0  # root has no sensor
+
+        sensors = list(small_net.tree.sensor_nodes)
+        less, equal, greater = rank_of_value(old_values[sensors], filter_value)
+        counters = RootCounters(l=less, e=equal, g=greater)
+
+        contributions = build_validation(
+            small_net, new_values, old_state, new_state, hint_values=2
+        )
+        merged = small_net.convergecast(contributions)
+        if merged is not None:
+            counters.apply_validation(merged)
+        truth = rank_of_value(new_values[sensors], filter_value)
+        assert (counters.l, counters.e, counters.g) == truth
+
+
+class TestHintBounds:
+    def spec(self) -> QuerySpec:
+        return QuerySpec(r_min=0, r_max=1000)
+
+    def test_no_payload_falls_back_to_universe(self):
+        assert hint_bounds(None, 500, 500, self.spec(), symmetric=False) == (0, 1000)
+
+    def test_no_hint_falls_back_to_universe(self):
+        payload = ValidationPayload(into_lt=1, hint_values=0)
+        assert hint_bounds(payload, 500, 500, self.spec(), symmetric=False) == (
+            0,
+            1000,
+        )
+
+    def test_two_sided(self):
+        payload = ValidationPayload(hint_min=480, hint_max=530)
+        assert hint_bounds(payload, 500, 500, self.spec(), symmetric=False) == (
+            480,
+            530,
+        )
+
+    def test_two_sided_never_shrinks_past_filter(self):
+        payload = ValidationPayload(hint_min=510, hint_max=520)
+        low, high = hint_bounds(payload, 500, 500, self.spec(), symmetric=False)
+        assert low == 500 and high == 520
+
+    def test_symmetric_uses_max_difference(self):
+        payload = ValidationPayload(hint_min=470, hint_max=510)
+        # max diff = 30 below the filter -> [470, 530].
+        assert hint_bounds(payload, 500, 500, self.spec(), symmetric=True) == (
+            470,
+            530,
+        )
+
+    def test_symmetric_interval_filter(self):
+        payload = ValidationPayload(hint_min=480, hint_max=560)
+        # Filter interval [490, 520]: max diff = max(10, 40) = 40.
+        assert hint_bounds(payload, 490, 520, self.spec(), symmetric=True) == (
+            450,
+            560,
+        )
+
+    def test_clamped_to_universe(self):
+        payload = ValidationPayload(hint_min=-50, hint_max=2000)
+        assert hint_bounds(payload, 500, 500, self.spec(), symmetric=False) == (
+            0,
+            1000,
+        )
+
+
+class TestTagInitialization:
+    def test_quantile_and_counters(self, small_net):
+        values = np.array([0, 10, 20, 30, 30, 50, 60, 70])
+        k = 3
+        quantile, counters, smallest = tag_initialization(small_net, values, k)
+        assert quantile == 30
+        # values < 30: 10, 20 -> l=2; equal: two 30s -> e=2; greater: 3.
+        assert (counters.l, counters.e, counters.g) == (2, 2, 3)
+        # The k smallest plus ties of the k-th.
+        assert smallest == (10, 20, 30, 30)
+
+    def test_counters_match_oracle(self, small_net, rng):
+        values = rng.integers(0, 40, size=8)
+        sensors = list(small_net.tree.sensor_nodes)
+        for k in (1, 4, 7):
+            net = _fresh_net(small_net.tree)
+            quantile, counters, _ = tag_initialization(net, values, k)
+            truth = rank_of_value(values[sensors], quantile)
+            assert (counters.l, counters.e, counters.g) == truth
+
+    def test_traffic_is_charged(self, small_net):
+        values = np.arange(8) * 10
+        tag_initialization(small_net, values, 4)
+        # Every sensor node transmits during a TAG collection.
+        for vertex in small_net.tree.sensor_nodes:
+            assert small_net.ledger.messages_sent[vertex] >= 1
+
+
+def _fresh_net(tree):
+    from tests.conftest import make_network
+
+    return make_network(tree)

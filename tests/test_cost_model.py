@@ -1,0 +1,124 @@
+"""Unit tests for the Lambert-W bucket cost model ([21], Section 4.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy.special import lambertw as scipy_lambertw
+
+from repro.core.cost_model import (
+    exact_optimal_buckets,
+    lambert_w,
+    optimal_buckets,
+    refinement_cost_bits,
+    rounded_optimal_buckets,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLambertW:
+    def test_known_values(self):
+        assert lambert_w(0.0) == 0.0
+        assert lambert_w(math.e) == pytest.approx(1.0)
+        # W(x e^x) == x.
+        for x in (0.1, 0.5, 1.0, 2.0, 5.0):
+            assert lambert_w(x * math.exp(x)) == pytest.approx(x)
+
+    def test_matches_scipy(self):
+        for x in (1e-6, 0.01, 0.3, 1.0, 3.7, 42.0, 1e4, 1e8):
+            expected = float(scipy_lambertw(x).real)
+            assert lambert_w(x) == pytest.approx(expected, rel=1e-10)
+
+    def test_defining_equation(self):
+        for x in (0.25, 1.5, 100.0):
+            w = lambert_w(x)
+            assert w * math.exp(w) == pytest.approx(x, rel=1e-10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lambert_w(-0.1)
+
+
+class TestOptimalBuckets:
+    def test_closed_form_matches_stationarity_condition(self):
+        # b (ln b - 1) == c0 / s_b at the optimum.
+        header, request, bucket = 128, 40, 16
+        b = optimal_buckets(header, request, bucket)
+        c0 = 2 * header + request
+        assert b * (math.log(b) - 1.0) == pytest.approx(c0 / bucket, rel=1e-9)
+
+    def test_default_value_is_reasonable(self):
+        b = optimal_buckets()
+        assert 4.0 < b < 64.0
+
+    def test_more_header_means_more_buckets(self):
+        small = optimal_buckets(header_bits=64)
+        large = optimal_buckets(header_bits=1024)
+        assert large > small
+
+    def test_bigger_buckets_mean_fewer_buckets(self):
+        coarse = optimal_buckets(bucket_bits=64)
+        fine = optimal_buckets(bucket_bits=8)
+        assert fine > coarse
+
+    def test_rounded_is_at_least_two(self):
+        assert rounded_optimal_buckets() >= 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_buckets(bucket_bits=0)
+        with pytest.raises(ConfigurationError):
+            optimal_buckets(header_bits=-1)
+
+
+class TestRefinementCost:
+    def test_binary_search_cost(self):
+        # Two buckets over 1024 values: 10 iterations.
+        cost = refinement_cost_bits(2, 1024, header_bits=128, request_bits=40,
+                                    bucket_bits=16)
+        assert cost == 10 * (2 * 128 + 40 + 2 * 16)
+
+    def test_single_value_is_free(self):
+        assert refinement_cost_bits(8, 1) == 0.0
+
+    def test_iterations_use_ceiling(self):
+        # 3 buckets over 10 values: ceil(log3 10) = 3 iterations.
+        per_iteration = 2 * 128 + 40 + 3 * 16
+        assert refinement_cost_bits(
+            3, 10, header_bits=128, request_bits=40, bucket_bits=16
+        ) == 3 * per_iteration
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            refinement_cost_bits(1, 100)
+        with pytest.raises(ConfigurationError):
+            refinement_cost_bits(4, 0)
+
+
+class TestExactOptimalBuckets:
+    def test_is_discrete_argmin(self):
+        universe = 4096
+        best = exact_optimal_buckets(universe)
+        best_cost = refinement_cost_bits(best, universe)
+        for b in range(2, 128):
+            assert best_cost <= refinement_cost_bits(b, universe)
+
+    def test_beats_binary_search(self):
+        universe = 65536
+        best = exact_optimal_buckets(universe)
+        assert refinement_cost_bits(best, universe) < refinement_cost_bits(
+            2, universe
+        )
+
+    def test_near_continuous_optimum(self):
+        # The discrete optimum stays within a factor ~4 of the continuous
+        # prediction (ceiling effects move it around).
+        continuous = optimal_buckets()
+        discrete = exact_optimal_buckets(1 << 20)
+        assert discrete <= 4 * continuous
+        assert discrete >= 2
+
+    def test_tiny_universe(self):
+        assert exact_optimal_buckets(1) == 2
+        assert exact_optimal_buckets(2) == 2

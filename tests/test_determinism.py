@@ -1,0 +1,71 @@
+"""Reproducibility: identical seeds produce bitwise-identical experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lcll import LCLLSlip
+from repro.baselines.pos import POS
+from repro.core.hbc import HBC
+from repro.core.iq import IQ
+from repro.datasets.pressure import PressureWorkload
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.experiments.config import ExperimentConfig, default_algorithms
+from repro.experiments.runner import run_synthetic_experiment
+from repro.network.routing import build_routing_tree
+from repro.network.topology import connected_random_graph
+from repro.sim.runner import SimulationRunner
+from repro.types import QuerySpec
+
+
+def run_once(seed: int, factory):
+    rng = np.random.default_rng(seed)
+    graph = connected_random_graph(81, 40.0, rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(graph.positions, rng, period=30)
+    spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+    runner = SimulationRunner(tree, 40.0)
+    return runner.run(factory(spec), workload.values, 25)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", [POS, HBC, IQ, LCLLSlip])
+    def test_identical_runs(self, factory):
+        a = run_once(7, factory)
+        b = run_once(7, factory)
+        assert a.quantile_series == b.quantile_series
+        assert a.max_mean_round_energy_j == b.max_mean_round_energy_j
+        assert a.phase_bits == b.phase_bits
+        assert [r.messages_sent for r in a.rounds] == [
+            r.messages_sent for r in b.rounds
+        ]
+
+    def test_different_seeds_differ(self):
+        a = run_once(7, IQ)
+        b = run_once(8, IQ)
+        assert a.quantile_series != b.quantile_series
+
+    def test_experiment_harness_deterministic(self):
+        config = ExperimentConfig(num_nodes=50, rounds=10, runs=2, radio_range=60.0)
+        algorithms = {
+            name: factory
+            for name, factory in default_algorithms().items()
+            if name == "IQ"
+        }
+        a = run_synthetic_experiment(config, algorithms)["IQ"]
+        b = run_synthetic_experiment(config, algorithms)["IQ"]
+        assert a.max_energy_mj == b.max_energy_mj
+        assert a.lifetime_rounds == b.lifetime_rounds
+
+    def test_pressure_workload_deterministic(self):
+        a = PressureWorkload(
+            np.random.default_rng(4), num_nodes=50, num_rounds=10,
+            som_iterations=2,
+        )
+        b = PressureWorkload(
+            np.random.default_rng(4), num_nodes=50, num_rounds=10,
+            som_iterations=2,
+        )
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.values(5), b.values(5))

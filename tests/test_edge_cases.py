@@ -1,0 +1,122 @@
+"""Edge cases: degenerate universes, extreme topologies, tiny networks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lcll import LCLLHierarchical, LCLLSlip
+from repro.baselines.pos import POS
+from repro.baselines.tag import TAG
+from repro.core.hbc import HBC
+from repro.core.iq import IQ
+from repro.network.tree import tree_from_parents
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+ALL = [TAG, POS, HBC, IQ, LCLLHierarchical, LCLLSlip]
+
+
+def chain_tree(length: int):
+    """A degenerate line network: 0 - 1 - 2 - ... - length."""
+    return tree_from_parents(0, [-1] + list(range(length)))
+
+
+def star_tree(leaves: int):
+    """A one-hop star: every sensor is the root's direct child."""
+    return tree_from_parents(0, [-1] + [0] * leaves)
+
+
+class TestDegenerateUniverses:
+    @pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+    def test_single_value_universe(self, factory, small_tree):
+        """All measurements forced onto one value: r_min == r_max."""
+        spec = QuerySpec(r_min=7, r_max=7)
+        values = np.full(8, 7, dtype=np.int64)
+        outcomes, _ = drive(factory(spec), small_tree, [values] * 4)
+        assert all(o.quantile == 7 for o in outcomes)
+
+    @pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+    def test_two_value_universe(self, factory, small_tree, rng):
+        spec = QuerySpec(r_min=0, r_max=1)
+        rounds = [rng.integers(0, 2, size=8) for _ in range(8)]
+        drive(factory(spec), small_tree, rounds)
+
+    @pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+    def test_values_pinned_to_universe_edges(self, factory, small_tree):
+        spec = QuerySpec(r_min=0, r_max=1000)
+        low = np.zeros(8, dtype=np.int64)
+        high = np.full(8, 1000, dtype=np.int64)
+        mixed = np.array([0, 0, 0, 0, 1000, 1000, 1000, 1000])
+        drive(factory(spec), small_tree, [low, high, mixed, low])
+
+    @pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+    def test_negative_universe(self, factory, small_tree, rng):
+        spec = QuerySpec(r_min=-500, r_max=-100)
+        rounds = [rng.integers(-500, -99, size=8) for _ in range(5)]
+        drive(factory(spec), small_tree, rounds)
+
+
+class TestExtremeTopologies:
+    @pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+    def test_chain_network(self, factory, rng):
+        tree = chain_tree(12)
+        rounds = random_rounds(rng, 13, 8, 0, 500, drift=5.0)
+        drive(factory(QuerySpec(r_min=0, r_max=500)), tree, rounds)
+
+    @pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+    def test_star_network(self, factory, rng):
+        tree = star_tree(15)
+        rounds = random_rounds(rng, 16, 8, 0, 500, drift=-4.0)
+        drive(factory(QuerySpec(r_min=0, r_max=500)), tree, rounds)
+
+    @pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+    def test_minimal_network(self, factory, rng):
+        """Two sensor nodes — the smallest sensible deployment."""
+        tree = tree_from_parents(0, [-1, 0, 1])
+        rounds = [rng.integers(0, 50, size=3) for _ in range(6)]
+        drive(factory(QuerySpec(r_min=0, r_max=50)), tree, rounds)
+
+    def test_chain_hotspot_is_roots_neighbour(self, rng):
+        """On a chain, the vertex next to the root forwards everything."""
+        tree = chain_tree(10)
+        rounds = random_rounds(rng, 11, 6, 0, 500, drift=8.0)
+        _, net = drive(TAG(QuerySpec(r_min=0, r_max=500)), tree, rounds)
+        energies = net.ledger.energy
+        sensors = list(tree.sensor_nodes)
+        assert energies[1] == max(energies[v] for v in sensors)
+
+
+class TestExtremeDynamics:
+    @pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+    def test_full_range_oscillation(self, factory, small_tree):
+        """Every node teleports across the whole universe each round."""
+        spec = QuerySpec(r_min=0, r_max=4095)
+        low = np.arange(8, dtype=np.int64)
+        high = 4095 - np.arange(8, dtype=np.int64)
+        drive(factory(spec), small_tree, [low, high, low, high, low])
+
+    @pytest.mark.parametrize("factory", [POS, HBC, IQ])
+    def test_one_node_oscillates(self, factory, small_tree):
+        """A single defective node flaps across the filter every round."""
+        spec = QuerySpec(r_min=0, r_max=100)
+        base = np.array([0, 40, 45, 50, 55, 60, 65, 70])
+        rounds = []
+        for t in range(10):
+            values = base.copy()
+            values[1] = 0 if t % 2 == 0 else 100
+            rounds.append(values)
+        drive(factory(spec), small_tree, rounds)
+
+    @pytest.mark.parametrize("factory", [POS, HBC, IQ])
+    def test_alternating_constant_and_shuffle(self, factory, small_tree, rng):
+        spec = QuerySpec(r_min=0, r_max=200)
+        base = rng.integers(0, 201, size=8)
+        rounds = []
+        for t in range(10):
+            if t % 3 == 2:
+                rounds.append(rng.permutation(base))
+            else:
+                rounds.append(base.copy())
+        drive(factory(spec), small_tree, rounds)

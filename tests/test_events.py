@@ -1,0 +1,94 @@
+"""Unit tests for the event-driven workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.events import Event, EventWorkload
+from repro.errors import ConfigurationError
+
+
+def make_workload(seed=17, **kwargs) -> EventWorkload:
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0, 200, size=(81, 2))
+    return EventWorkload(positions, rng, num_rounds=60, **kwargs)
+
+
+class TestEvent:
+    def test_intensity_envelope(self):
+        event = Event(
+            start_round=10, lifetime=10, center=(0, 0), radius=50, amplitude=100
+        )
+        assert event.intensity(9) == 0.0
+        assert event.intensity(10) == pytest.approx(0.0)
+        assert event.intensity(15) == pytest.approx(1.0)
+        assert event.intensity(20) == 0.0
+
+    def test_intensity_symmetric(self):
+        event = Event(0, 8, (0, 0), 50, 100)
+        assert event.intensity(2) == pytest.approx(event.intensity(6))
+
+
+class TestEventWorkload:
+    def test_values_inside_universe(self):
+        workload = make_workload()
+        for t in (0, 20, 59):
+            values = workload.values(t)
+            assert values.min() >= workload.r_min
+            assert values.max() <= workload.r_max
+
+    def test_deterministic_random_access(self):
+        workload = make_workload()
+        a = workload.values(30)
+        workload.values(3)
+        assert np.array_equal(a, workload.values(30))
+
+    def test_events_raise_values_locally(self):
+        workload = make_workload(event_rate=0.0)
+        # Inject one known event by hand.
+        workload.events.append(
+            Event(start_round=5, lifetime=10, center=(100.0, 100.0),
+                  radius=80.0, amplitude=400.0)
+        )
+        calm = workload.values(0).astype(float)
+        peak = workload.values(10).astype(float)
+        positions = workload.positions
+        distance = np.hypot(positions[:, 0] - 100.0, positions[:, 1] - 100.0)
+        near = distance < 40.0
+        near[workload.root] = False
+        far = distance > 120.0
+        far[workload.root] = False
+        if near.any() and far.any():
+            near_rise = (peak - calm)[near].mean()
+            far_rise = (peak - calm)[far].mean()
+            assert near_rise > far_rise + 50
+
+    def test_event_rate_scales_event_count(self):
+        quiet = make_workload(seed=3, event_rate=0.02)
+        busy = make_workload(seed=3, event_rate=0.5)
+        assert len(busy.events) > len(quiet.events)
+
+    def test_active_events_windowed(self):
+        workload = make_workload(event_rate=0.0)
+        workload.events.append(Event(10, 6, (0, 0), 50, 100))
+        assert not workload.active_events(9)
+        assert workload.active_events(13)
+        assert not workload.active_events(16)
+
+    def test_horizon_enforced(self):
+        workload = make_workload()
+        with pytest.raises(ConfigurationError):
+            workload.values(60)
+        with pytest.raises(ConfigurationError):
+            workload.values(-1)
+
+    def test_invalid_arguments_rejected(self):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 200, size=(10, 2))
+        with pytest.raises(ConfigurationError):
+            EventWorkload(positions, rng, event_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            EventWorkload(positions, rng, event_lifetime=1)
+        with pytest.raises(ConfigurationError):
+            EventWorkload(positions, rng, num_rounds=0)

@@ -1,0 +1,191 @@
+"""Unit tests for the experiment harness (config, metrics, sweeps, report)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    ExperimentConfig,
+    PressureConfig,
+    default_algorithms,
+    scale_factor,
+)
+from repro.experiments.metrics import aggregate_runs
+from repro.experiments.report import format_comparison, format_sweep_table
+from repro.experiments.runner import (
+    run_pressure_experiment,
+    run_synthetic_experiment,
+)
+from repro.experiments.sweeps import SweepResult, sweep
+from repro.sim.runner import RunResult
+from repro.types import RoundOutcome, RoundStats
+
+TINY = ExperimentConfig(num_nodes=40, rounds=10, runs=2, radio_range=60.0)
+TWO_ALGOS = {
+    name: factory
+    for name, factory in default_algorithms().items()
+    if name in ("TAG", "IQ")
+}
+
+
+def make_run(name: str, energy: float, refinements: int = 0) -> RunResult:
+    result = RunResult(algorithm=name)
+    result.rounds = [
+        RoundStats(
+            round_index=i,
+            outcome=RoundOutcome(quantile=5, refinements=refinements),
+            true_quantile=5,
+            max_sensor_energy_j=energy,
+            total_energy_j=energy * 3,
+            messages_sent=7,
+            values_sent=2,
+        )
+        for i in range(4)
+    ]
+    result.max_mean_round_energy_j = energy
+    result.lifetime_rounds = 0.03 / energy
+    return result
+
+
+class TestScaleFactor:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == pytest.approx(0.2)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1.0")
+        assert scale_factor() == 1.0
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ConfigurationError):
+            scale_factor()
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ConfigurationError):
+            scale_factor()
+
+
+class TestConfigs:
+    def test_scaled_shrinks(self):
+        config = ExperimentConfig().scaled(0.1)
+        assert config.num_nodes == 75  # connectivity floor at rho = 35 m
+        assert config.rounds == 25
+        assert config.runs == 2
+
+    def test_scaled_above_floor(self):
+        config = ExperimentConfig().scaled(0.5)
+        assert config.num_nodes == 250
+        assert config.rounds == 125
+
+    def test_scale_one_is_identity(self):
+        config = ExperimentConfig()
+        assert config.scaled(1.0) is config
+
+    def test_pressure_scaled(self):
+        config = PressureConfig().scaled(0.1)
+        assert config.num_nodes == 102
+        assert config.runs == 2
+
+    def test_spec_carries_universe(self):
+        spec = ExperimentConfig(r_min=5, r_max=99, phi=0.25).spec()
+        assert (spec.r_min, spec.r_max, spec.phi) == (5, 99, 0.25)
+
+
+class TestAggregateRuns:
+    def test_averages(self):
+        metrics = aggregate_runs([make_run("X", 1e-4), make_run("X", 3e-4)])
+        assert metrics.max_energy_mj == pytest.approx(0.2)
+        assert metrics.runs == 2
+        assert metrics.all_exact
+
+    def test_refinements_per_round(self):
+        metrics = aggregate_runs([make_run("X", 1e-4, refinements=2)])
+        assert metrics.refinements_per_round == pytest.approx(2.0)
+
+    def test_mixed_algorithms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_runs([make_run("X", 1e-4), make_run("Y", 1e-4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_runs([])
+
+
+class TestRunExperiments:
+    def test_synthetic_experiment(self):
+        metrics = run_synthetic_experiment(TINY, TWO_ALGOS)
+        assert set(metrics) == {"TAG", "IQ"}
+        for aggregate in metrics.values():
+            assert aggregate.all_exact
+            assert aggregate.max_energy_mj > 0
+            assert aggregate.runs == 2
+
+    def test_pressure_experiment(self):
+        config = PressureConfig(num_nodes=60, rounds=8, runs=2, radio_range=60.0)
+        metrics = run_pressure_experiment(config, TWO_ALGOS)
+        assert set(metrics) == {"TAG", "IQ"}
+        assert all(m.all_exact for m in metrics.values())
+
+    def test_same_topologies_for_all_algorithms(self):
+        """TAG's cost is deterministic given a topology, so identical seeds
+        must give identical TAG numbers across invocations."""
+        a = run_synthetic_experiment(TINY, {"TAG": TWO_ALGOS["TAG"]})
+        b = run_synthetic_experiment(TINY, TWO_ALGOS)
+        assert a["TAG"].max_energy_mj == pytest.approx(b["TAG"].max_energy_mj)
+
+
+class TestSweep:
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("does_not_exist")
+
+    def test_small_sweep_runs(self):
+        result = sweep(
+            "period",
+            values=(50, 10),
+            base=TINY,
+            algorithms=TWO_ALGOS,
+            scale=1.0,
+        )
+        assert result.xs == [50.0, 10.0]
+        assert set(result.series) == {"TAG", "IQ"}
+        assert len(result.energy_series("IQ")) == 2
+        assert len(result.lifetime_series("TAG")) == 2
+
+    def test_num_nodes_sweep_keeps_counts(self):
+        result = sweep(
+            "num_nodes",
+            values=(30, 45),
+            base=TINY,
+            algorithms={"TAG": TWO_ALGOS["TAG"]},
+            scale=0.01,  # aggressive scaling must not touch the node counts
+        )
+        assert result.xs == [30.0, 45.0]
+
+
+class TestReport:
+    def make_sweep(self) -> SweepResult:
+        result = SweepResult(variable="period")
+        result.add_point(250.0, {"IQ": aggregate_runs([make_run("IQ", 1e-4)])})
+        result.add_point(8.0, {"IQ": aggregate_runs([make_run("IQ", 4e-4)])})
+        return result
+
+    def test_sweep_table_contains_series(self):
+        table = format_sweep_table(self.make_sweep(), title="Figure 7")
+        assert "Figure 7" in table
+        assert "period=250" in table
+        assert "IQ" in table
+        assert "0.1000" in table and "0.4000" in table
+
+    def test_lifetime_metric(self):
+        table = format_sweep_table(self.make_sweep(), metric="lifetime_rounds")
+        assert "lifetime_rounds" in table
+
+    def test_comparison_table(self):
+        metrics = {"IQ": aggregate_runs([make_run("IQ", 1e-4)])}
+        table = format_comparison(metrics, title="tiny")
+        assert "tiny" in table
+        assert "IQ" in table
+        assert "True" in table

@@ -1,0 +1,51 @@
+"""Unit tests for the figure-regeneration helpers (Figures 4 and 5)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig4_xi_trace, fig5_noise_field
+
+
+class TestFig4XiTrace:
+    def test_trace_has_one_entry_per_round(self):
+        trace = fig4_xi_trace(num_rounds=15, num_nodes=60)
+        assert len(trace.rounds) == 15
+
+    def test_quantile_inside_network_range(self):
+        trace = fig4_xi_trace(num_rounds=12, num_nodes=60)
+        for diag in trace.rounds:
+            assert diag.network_min <= diag.quantile <= diag.network_max
+
+    def test_band_signs(self):
+        trace = fig4_xi_trace(num_rounds=12, num_nodes=60)
+        for diag in trace.rounds:
+            assert diag.xi_left <= 0 <= diag.xi_right
+
+    def test_band_hit_ratio_in_unit_interval(self):
+        trace = fig4_xi_trace(num_rounds=20, num_nodes=60)
+        assert 0.0 <= trace.band_contains_next_quantile_ratio <= 1.0
+
+    def test_refinement_rounds_consistent(self):
+        trace = fig4_xi_trace(num_rounds=20, num_nodes=60)
+        for index in trace.refinement_rounds:
+            assert trace.rounds[index].refined
+
+    def test_deterministic_under_seed(self):
+        a = fig4_xi_trace(num_rounds=8, num_nodes=60, seed=3)
+        b = fig4_xi_trace(num_rounds=8, num_nodes=60, seed=3)
+        assert [d.quantile for d in a.rounds] == [d.quantile for d in b.rounds]
+
+
+class TestFig5NoiseField:
+    def test_shape_and_levels(self):
+        result = fig5_noise_field(shape=(64, 64))
+        assert result.field.shape == (64, 64)
+        assert result.grey_levels > 30
+
+    def test_spatial_correlation_high(self):
+        result = fig5_noise_field()
+        assert result.spatial_correlation > 0.9
+
+    def test_deterministic_under_seed(self):
+        a = fig5_noise_field(shape=(32, 32), seed=9)
+        b = fig5_noise_field(shape=(32, 32), seed=9)
+        assert (a.field == b.field).all()

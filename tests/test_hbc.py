@@ -1,0 +1,151 @@
+"""Unit tests for HBC (Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import rounded_optimal_buckets
+from repro.core.hbc import HBC
+from repro.errors import ProtocolError
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+
+def spec(r_max: int = 1000) -> QuerySpec:
+    return QuerySpec(phi=0.5, r_min=0, r_max=r_max)
+
+
+@pytest.fixture(params=[True, False], ids=["tracking", "no-tracking"])
+def tracking(request) -> bool:
+    return request.param
+
+
+class TestHBCCorrectness:
+    def test_static_values(self, small_tree, tracking):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        algorithm = HBC(spec(), interval_tracking=tracking)
+        outcomes, net = drive(algorithm, small_tree, [values] * 4)
+        assert all(o.quantile == 30 for o in outcomes)
+        assert np.allclose(net.ledger.round_energy_history[2], 0.0)
+
+    def test_exact_under_drift(self, small_tree, tracking, rng):
+        rounds = random_rounds(rng, 8, 20, 0, 1000, drift=5.0)
+        drive(HBC(spec(), interval_tracking=tracking), small_tree, rounds)
+
+    def test_exact_under_negative_drift(self, small_tree, tracking, rng):
+        rounds = random_rounds(rng, 8, 20, 300, 1000, drift=-6.0)
+        drive(HBC(spec(), interval_tracking=tracking), small_tree, rounds)
+
+    def test_exact_on_random_deployment(self, random_deployment, tracking, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 15, 0, 1000, drift=4.0)
+        drive(HBC(spec(), interval_tracking=tracking), tree, rounds)
+
+    def test_exact_without_direct_requests(self, random_deployment, tracking, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 4095, drift=15.0)
+        algorithm = HBC(
+            spec(4095), interval_tracking=tracking, direct_request_limit=0
+        )
+        drive(algorithm, tree, rounds)
+
+    def test_exact_with_jumping_quantile(self, small_tree, tracking):
+        low = np.array([0, 10, 11, 12, 13, 14, 15, 16])
+        high = np.array([0, 910, 911, 912, 913, 914, 915, 916])
+        algorithm = HBC(spec(), interval_tracking=tracking)
+        drive(algorithm, small_tree, [low, high, low, high])
+
+    def test_exact_with_duplicates(self, small_tree, tracking):
+        a = np.array([0, 5, 5, 5, 9, 9, 9, 9])
+        b = np.array([0, 9, 9, 5, 5, 5, 9, 9])
+        drive(HBC(spec(20), interval_tracking=tracking), small_tree, [a, b, a])
+
+    def test_exact_for_other_quantiles(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 10, 0, 500, drift=4.0)
+        for phi in (0.1, 0.25, 0.75, 0.95):
+            algorithm = HBC(QuerySpec(phi=phi, r_min=0, r_max=500))
+            drive(algorithm, tree, rounds)
+
+    def test_exact_with_various_bucket_counts(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 8, 0, 2000, drift=10.0)
+        for buckets in (2, 3, 8, 64):
+            algorithm = HBC(
+                spec(2000), num_buckets=buckets, direct_request_limit=0
+            )
+            drive(algorithm, tree, rounds)
+
+    def test_update_before_initialize_rejected(self, small_net):
+        with pytest.raises(ProtocolError):
+            HBC(spec()).update(small_net, np.zeros(8, dtype=np.int64))
+
+    def test_too_few_buckets_rejected(self):
+        with pytest.raises(ProtocolError):
+            HBC(spec(), num_buckets=1)
+
+
+class TestHBCBehaviour:
+    def test_default_bucket_count_from_cost_model(self):
+        assert HBC(spec()).num_buckets == rounded_optimal_buckets()
+
+    def test_bary_needs_fewer_refinements_than_binary(
+        self, random_deployment, rng
+    ):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 15, 0, 65535, drift=25.0)
+        refinements = {}
+        for buckets in (2, None):
+            algorithm = HBC(
+                QuerySpec(r_min=0, r_max=65535),
+                num_buckets=buckets,
+                direct_request_limit=0,
+            )
+            outcomes, _ = drive(algorithm, tree, rounds)
+            refinements[buckets] = sum(o.refinements for o in outcomes)
+        assert refinements[None] < refinements[2]
+
+    def test_tracking_avoids_filter_broadcasts(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 4095, drift=15.0)
+        algorithm = HBC(spec(4095), direct_request_limit=0)
+        outcomes, _ = drive(algorithm, tree, rounds)
+        # Section 4.1.2: without direct requests, no threshold broadcast.
+        assert not any(o.filter_broadcast for o in outcomes[1:])
+
+    def test_no_tracking_broadcasts_after_refinement(
+        self, random_deployment, rng
+    ):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 4095, drift=15.0)
+        algorithm = HBC(
+            spec(4095), interval_tracking=False, direct_request_limit=0
+        )
+        outcomes, _ = drive(algorithm, tree, rounds)
+        for outcome in outcomes[1:]:
+            if outcome.refinements > 0:
+                assert outcome.filter_broadcast
+
+    def test_direct_request_ends_with_broadcast(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 10, 0, 1000, drift=10.0)
+        outcomes, _ = drive(HBC(spec()), small_tree, rounds)
+        for outcome in outcomes:
+            if outcome.direct_request:
+                assert outcome.filter_broadcast
+
+    def test_compression_reduces_bits(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 10, 0, 4095, drift=15.0)
+        bits = {}
+        for compressed in (True, False):
+            algorithm = HBC(
+                spec(4095),
+                num_buckets=64,
+                compressed_histograms=compressed,
+                direct_request_limit=0,
+            )
+            _, net = drive(algorithm, tree, rounds)
+            bits[compressed] = int(net.ledger.bits_sent.sum())
+        assert bits[True] < bits[False]

@@ -1,0 +1,70 @@
+"""Unit tests for the bucket-grid helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.histogram import make_grid
+from repro.errors import ConfigurationError
+
+
+class TestMakeGrid:
+    def test_even_partition(self):
+        grid = make_grid(0, 15, 4)
+        assert grid.num_buckets == 4
+        assert grid.edges == (0, 4, 8, 12, 16)
+
+    def test_uneven_partition_widths_differ_by_one(self):
+        grid = make_grid(0, 9, 3)  # 10 values into 3 buckets
+        widths = [grid.bucket_width(i) for i in range(grid.num_buckets)]
+        assert sum(widths) == 10
+        assert max(widths) - min(widths) <= 1
+
+    def test_buckets_capped_at_interval_width(self):
+        grid = make_grid(5, 7, 64)
+        assert grid.num_buckets == 3
+        assert all(grid.bucket_width(i) == 1 for i in range(3))
+
+    def test_single_value_interval(self):
+        grid = make_grid(42, 42, 8)
+        assert grid.num_buckets == 1
+        assert grid.bucket_bounds(0) == (42, 42)
+
+    def test_partition_covers_every_value_once(self):
+        grid = make_grid(-10, 40, 7)
+        for value in range(-10, 41):
+            bucket = grid.bucket_of(value)
+            low, high = grid.bucket_bounds(bucket)
+            assert low <= value <= high
+
+    def test_bucket_of_boundaries(self):
+        grid = make_grid(0, 15, 4)
+        assert grid.bucket_of(0) == 0
+        assert grid.bucket_of(3) == 0
+        assert grid.bucket_of(4) == 1
+        assert grid.bucket_of(15) == 3
+
+    def test_bucket_of_outside_rejected(self):
+        grid = make_grid(0, 15, 4)
+        with pytest.raises(ConfigurationError):
+            grid.bucket_of(16)
+        with pytest.raises(ConfigurationError):
+            grid.bucket_of(-1)
+
+    def test_bounds_index_validation(self):
+        grid = make_grid(0, 15, 4)
+        with pytest.raises(ConfigurationError):
+            grid.bucket_bounds(4)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_grid(5, 4, 2)
+
+    def test_nonpositive_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_grid(0, 10, 0)
+
+    def test_negative_interval_support(self):
+        grid = make_grid(-100, -1, 10)
+        assert grid.bucket_of(-100) == 0
+        assert grid.bucket_of(-1) == 9

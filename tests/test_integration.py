@@ -1,0 +1,185 @@
+"""Integration tests: all algorithms, end to end, against the oracle.
+
+These tests exercise the full stack — topology, routing, engine, energy
+accounting and algorithm protocol — on realistic workloads, and also check
+the cross-algorithm relationships the paper's evaluation rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    HBC,
+    IQ,
+    POS,
+    TAG,
+    LCLLHierarchical,
+    LCLLSlip,
+    QuerySpec,
+    SimulationRunner,
+    SyntheticWorkload,
+    build_routing_tree,
+    connected_random_graph,
+)
+from repro.datasets.pressure import PressureWorkload
+from repro.network.topology import build_physical_graph
+
+ALL_ALGORITHMS = [TAG, POS, HBC, IQ, LCLLHierarchical, LCLLSlip]
+
+
+@pytest.fixture(scope="module")
+def synthetic_setup():
+    rng = np.random.default_rng(77)
+    graph = connected_random_graph(121, radio_range=40.0, rng=rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(
+        graph.positions, rng, period=40, noise_percent=10.0
+    )
+    return tree, workload
+
+
+@pytest.fixture(scope="module")
+def pressure_setup():
+    rng = np.random.default_rng(78)
+    workload = PressureWorkload(
+        rng, num_nodes=120, num_rounds=60, som_iterations=2
+    )
+    graph = build_physical_graph(workload.positions, 40.0)
+    assert graph.is_connected()
+    tree = build_routing_tree(graph, root=workload.root)
+    return tree, workload
+
+
+class TestExactnessEverywhere:
+    @pytest.mark.parametrize("factory", ALL_ALGORITHMS)
+    def test_synthetic(self, synthetic_setup, factory):
+        tree, workload = synthetic_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        runner = SimulationRunner(tree, radio_range=40.0, check=True)
+        result = runner.run(factory(spec), workload.values, 50)
+        assert result.all_exact
+
+    @pytest.mark.parametrize("factory", ALL_ALGORITHMS)
+    def test_pressure(self, pressure_setup, factory):
+        tree, workload = pressure_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        runner = SimulationRunner(tree, radio_range=40.0, check=True)
+        result = runner.run(factory(spec), workload.values, 50)
+        assert result.all_exact
+
+    @pytest.mark.parametrize("phi", [0.1, 0.25, 0.75, 0.9])
+    @pytest.mark.parametrize("factory", [POS, HBC, IQ])
+    def test_non_median_quantiles(self, synthetic_setup, factory, phi):
+        tree, workload = synthetic_setup
+        spec = QuerySpec(phi=phi, r_min=workload.r_min, r_max=workload.r_max)
+        runner = SimulationRunner(tree, radio_range=40.0, check=True)
+        runner.run(factory(spec), workload.values, 30)
+
+
+class TestPaperRelationships:
+    """The qualitative orderings Section 5.2 reports.
+
+    The paper's claims hold in its operating regime — hundreds of nodes and
+    temporally correlated measurements — so these tests use a 300-node
+    deployment (TAG's collection cost only dominates from a few hundred
+    nodes on; at ~100 nodes the k-pruned collection is genuinely
+    competitive, which our simulation reproduces too).
+    """
+
+    @pytest.fixture(scope="class")
+    def large_setup(self):
+        rng = np.random.default_rng(31)
+        graph = connected_random_graph(301, radio_range=35.0, rng=rng)
+        tree = build_routing_tree(graph, root=0)
+        workload = SyntheticWorkload(
+            graph.positions, rng, period=125, noise_percent=5.0
+        )
+        return tree, workload
+
+    def run_all(self, tree, workload, rounds=40, radio_range=35.0):
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        runner = SimulationRunner(tree, radio_range=radio_range, check=True)
+        return {
+            factory.name: runner.run(factory(spec), workload.values, rounds)
+            for factory in ALL_ALGORITHMS
+        }
+
+    def test_tag_is_most_expensive(self, large_setup):
+        tree, workload = large_setup
+        results = self.run_all(tree, workload)
+        tag = results["TAG"].max_mean_round_energy_j
+        for name in ("POS", "HBC", "IQ"):
+            assert results[name].max_mean_round_energy_j < tag
+
+    def test_iq_wins_under_temporal_correlation(self, large_setup):
+        tree, workload = large_setup
+        results = self.run_all(tree, workload)
+        iq = results["IQ"].max_mean_round_energy_j
+        for name in ("TAG", "POS", "HBC", "LCLL-H", "LCLL-S"):
+            assert iq < results[name].max_mean_round_energy_j
+
+    def test_iq_beats_pos_on_pressure(self, pressure_setup):
+        tree, workload = pressure_setup
+        results = self.run_all(tree, workload, radio_range=40.0)
+        iq = results["IQ"].max_mean_round_energy_j
+        assert iq < results["POS"].max_mean_round_energy_j
+
+    def test_lifetime_anticorrelates_with_energy(self, synthetic_setup):
+        tree, workload = synthetic_setup
+        results = self.run_all(tree, workload, radio_range=40.0)
+        by_energy = sorted(
+            results, key=lambda n: results[n].max_mean_round_energy_j
+        )
+        by_lifetime = sorted(
+            results, key=lambda n: -results[n].lifetime_rounds
+        )
+        assert by_energy == by_lifetime
+
+    def test_iq_single_refinement_property(self, synthetic_setup):
+        tree, workload = synthetic_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        runner = SimulationRunner(tree, radio_range=40.0)
+        result = runner.run(IQ(spec), workload.values, 50)
+        assert all(r.outcome.refinements <= 1 for r in result.rounds)
+
+
+class TestEnergyAccounting:
+    def test_bits_conservation(self, synthetic_setup):
+        """Every transmitted bit is received exactly once (unicast) or once
+        per child (broadcast) — never lost, never duplicated."""
+        tree, workload = synthetic_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        from repro.radio.ledger import EnergyLedger
+        from repro.radio.energy import EnergyModel
+        from repro.sim.engine import TreeNetwork
+
+        for factory in (POS, HBC, IQ):
+            ledger = EnergyLedger(tree.num_vertices, tree.root, EnergyModel(), 40.0)
+            net = TreeNetwork(tree, ledger)
+            algorithm = factory(spec)
+            for t in range(10):
+                ledger.begin_round()
+                if t == 0:
+                    algorithm.initialize(net, workload.values(t))
+                else:
+                    algorithm.update(net, workload.values(t))
+                ledger.end_round()
+            sent = int(ledger.messages_sent.sum())
+            received = int(ledger.messages_received.sum())
+            # Unicast: 1 reception per message.  Broadcast: one reception per
+            # child of the sender, so received >= sent overall.
+            assert received >= sent > 0
+
+    def test_no_energy_charged_to_silent_network(self, synthetic_setup):
+        tree, workload = synthetic_setup
+        spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+        runner = SimulationRunner(tree, radio_range=40.0)
+        values = workload.values(0)
+        result = runner.run(POS(spec), lambda _t: values, 5)
+        # Identical values every round: after initialization the network is
+        # perfectly silent.
+        for record in result.rounds[1:]:
+            assert record.max_sensor_energy_j == 0.0
+            assert record.messages_sent == 0

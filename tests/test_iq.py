@@ -1,0 +1,118 @@
+"""Unit tests for IQ (Section 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.iq import IQ
+from repro.errors import ProtocolError
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+
+def spec(r_max: int = 1000) -> QuerySpec:
+    return QuerySpec(phi=0.5, r_min=0, r_max=r_max)
+
+
+class TestIQCorrectness:
+    def test_static_values(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        outcomes, _ = drive(IQ(spec()), small_tree, [values] * 5)
+        assert all(o.quantile == 30 for o in outcomes)
+
+    def test_exact_under_drift(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 25, 0, 1000, drift=5.0)
+        drive(IQ(spec()), small_tree, rounds)
+
+    def test_exact_under_negative_drift(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 25, 300, 1000, drift=-6.0)
+        drive(IQ(spec()), small_tree, rounds)
+
+    def test_exact_on_random_deployment(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 20, 0, 1000, drift=4.0)
+        drive(IQ(spec()), tree, rounds)
+
+    def test_exact_with_jumping_quantile(self, small_tree):
+        """Jumps far outside Ξ force the f1/f2 refinement paths."""
+        low = np.array([0, 10, 11, 12, 13, 14, 15, 16])
+        high = np.array([0, 910, 911, 912, 913, 914, 915, 916])
+        drive(IQ(spec()), small_tree, [low, high, low, high, low])
+
+    def test_exact_with_duplicates(self, small_tree):
+        a = np.array([0, 5, 5, 5, 9, 9, 9, 9])
+        b = np.array([0, 9, 9, 5, 5, 5, 9, 9])
+        c = np.array([0, 5, 9, 9, 5, 9, 5, 5])
+        drive(IQ(spec(20)), small_tree, [a, b, c, a, c, b])
+
+    def test_exact_with_heavy_duplicates_on_deployment(
+        self, random_deployment, rng
+    ):
+        _, tree = random_deployment
+        # Tiny universe: every round is full of ties.
+        rounds = random_rounds(rng, tree.num_vertices, 20, 0, 8)
+        drive(IQ(spec(8)), tree, rounds)
+
+    def test_exact_for_other_quantiles(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 500, drift=4.0)
+        for phi in (0.1, 0.25, 0.75, 0.95):
+            drive(IQ(QuerySpec(phi=phi, r_min=0, r_max=500)), tree, rounds)
+
+    def test_exact_without_hints(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 1000, drift=8.0)
+        drive(IQ(spec(), use_hints=False), tree, rounds)
+
+    def test_exact_with_median_gap_init(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 1000, drift=4.0)
+        drive(IQ(spec(), xi_init="median_gap"), tree, rounds)
+
+    def test_exact_with_small_window(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 20, 0, 1000, drift=-4.0)
+        drive(IQ(spec(), window=2), small_tree, rounds)
+
+    def test_update_before_initialize_rejected(self, small_net):
+        with pytest.raises(ProtocolError):
+            IQ(spec()).update(small_net, np.zeros(8, dtype=np.int64))
+
+
+class TestIQBehaviour:
+    def test_at_most_one_refinement_per_round(self, random_deployment, rng):
+        """The heuristic's defining property: <= 2 convergecasts a round."""
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 25, 0, 2000, drift=12.0)
+        outcomes, _ = drive(IQ(spec(2000)), tree, rounds)
+        assert all(o.refinements <= 1 for o in outcomes)
+
+    def test_slow_drift_mostly_avoids_refinements(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 30, 0, 2000, drift=2.0)
+        outcomes, _ = drive(IQ(spec(2000)), tree, rounds)
+        refining = sum(1 for o in outcomes[3:] if o.refinements)
+        assert refining <= len(outcomes[3:]) // 3
+
+    def test_broadcast_only_when_quantile_changes(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        outcomes, _ = drive(IQ(spec()), small_tree, [values] * 4)
+        assert outcomes[0].filter_broadcast  # initialization
+        assert not any(o.filter_broadcast for o in outcomes[1:])
+
+    def test_diagnostics_recorded(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 6, 0, 200, drift=3.0)
+        algorithm = IQ(spec(200), record_diagnostics=True)
+        drive(algorithm, small_tree, rounds)
+        assert len(algorithm.diagnostics) == 6
+        for diag in algorithm.diagnostics:
+            assert diag.xi_left <= 0 <= diag.xi_right
+            assert diag.network_min <= diag.quantile <= diag.network_max
+
+    def test_band_values_transmitted_during_validation(self, small_tree):
+        base = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        shifted = base.copy()
+        shifted[1:] += 1  # small shift keeps values inside the seeded band
+        _, net = drive(IQ(spec()), small_tree, [base, shifted])
+        assert net.ledger.values_sent.sum() > 0

@@ -1,0 +1,133 @@
+"""Unit tests for the LCLL baselines (hierarchical and slip refining)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lcll import LCLLHierarchical, LCLLSlip
+from repro.errors import ProtocolError
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+
+def spec(r_max: int = 1000) -> QuerySpec:
+    return QuerySpec(phi=0.5, r_min=0, r_max=r_max)
+
+
+@pytest.fixture(params=[LCLLHierarchical, LCLLSlip], ids=["H", "S"])
+def variant(request):
+    return request.param
+
+
+class TestLCLLCorrectness:
+    def test_static_values(self, small_tree, variant):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        outcomes, _ = drive(variant(spec()), small_tree, [values] * 4)
+        assert all(o.quantile == 30 for o in outcomes)
+        assert all(o.refinements == 0 for o in outcomes[1:])
+
+    def test_exact_under_drift(self, small_tree, variant, rng):
+        rounds = random_rounds(rng, 8, 20, 0, 1000, drift=5.0)
+        drive(variant(spec()), small_tree, rounds)
+
+    def test_exact_under_negative_drift(self, small_tree, variant, rng):
+        rounds = random_rounds(rng, 8, 20, 300, 1000, drift=-6.0)
+        drive(variant(spec()), small_tree, rounds)
+
+    def test_exact_on_random_deployment(self, random_deployment, variant, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 15, 0, 1000, drift=4.0)
+        drive(variant(spec()), tree, rounds)
+
+    def test_exact_with_jumping_quantile(self, small_tree, variant):
+        low = np.array([0, 10, 11, 12, 13, 14, 15, 16])
+        high = np.array([0, 910, 911, 912, 913, 914, 915, 916])
+        drive(variant(spec()), small_tree, [low, high, low, high])
+
+    def test_exact_with_duplicates(self, small_tree, variant):
+        a = np.array([0, 5, 5, 5, 9, 9, 9, 9])
+        b = np.array([0, 9, 9, 5, 5, 5, 9, 9])
+        drive(variant(spec(20)), small_tree, [a, b, a])
+
+    def test_exact_for_other_quantiles(self, random_deployment, variant, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 10, 0, 500, drift=4.0)
+        for phi in (0.1, 0.75):
+            algorithm = variant(QuerySpec(phi=phi, r_min=0, r_max=500))
+            drive(algorithm, tree, rounds)
+
+    def test_exact_on_large_universe(self, random_deployment, variant, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 8, 0, 65535, drift=30.0)
+        drive(variant(QuerySpec(r_min=0, r_max=65535)), tree, rounds)
+
+    def test_exact_at_universe_edges(self, small_tree, variant):
+        """Quantiles at the extreme ends of the universe (slip clamping)."""
+        low_edge = np.array([0, 0, 0, 1, 1, 2, 2, 3])
+        high_edge = np.array([0, 997, 998, 998, 999, 999, 1000, 1000])
+        drive(variant(spec()), small_tree, [low_edge, high_edge, low_edge])
+
+    def test_update_before_initialize_rejected(self, small_net, variant):
+        with pytest.raises(ProtocolError):
+            variant(spec()).update(small_net, np.zeros(8, dtype=np.int64))
+
+    def test_bad_bucket_count_rejected(self, variant):
+        with pytest.raises(ProtocolError):
+            variant(spec(), 1)
+
+
+class TestLCLLHierarchicalBehaviour:
+    def test_no_refinement_while_quantile_stays_in_fine_bucket(
+        self, small_tree, rng
+    ):
+        base = np.array([0, 100, 200, 300, 400, 500, 600, 700])
+        rounds = [base, base + 1, base - 1, base]  # quantile wiggles by 1
+        outcomes, _ = drive(LCLLHierarchical(spec()), small_tree, rounds)
+        assert all(o.refinements == 0 for o in outcomes[1:])
+
+    def test_refinement_count_logarithmic_in_distance(
+        self, random_deployment, rng
+    ):
+        _, tree = random_deployment
+        big_spec = QuerySpec(r_min=0, r_max=2**18 - 1)
+        base = rng.integers(0, 1000, size=tree.num_vertices)
+        jump = base + 200_000  # ~2^17.6 away
+        outcomes, _ = drive(
+            LCLLHierarchical(big_spec), tree, [base, jump]
+        )
+        # Depth of a 64-ary hierarchy over 2^18 values is 3.
+        assert 1 <= outcomes[1].refinements <= 4
+
+    def test_validation_deltas_are_cheap(self, random_deployment, rng):
+        """Noise within buckets produces no validation traffic at all."""
+        _, tree = random_deployment
+        base = rng.integers(0, 1000, size=tree.num_vertices) * 64  # bucket-aligned
+        spec_large = QuerySpec(r_min=0, r_max=64 * 1024)
+        rounds = [base, base + 1, base + 2]  # moves stay inside unit... buckets
+        outcomes, net = drive(LCLLHierarchical(spec_large), tree, rounds)
+        assert outcomes[-1].quantile == outcomes[1].quantile - 1 + 2
+
+
+class TestLCLLSlipBehaviour:
+    def test_slips_linear_in_distance(self, random_deployment, rng):
+        _, tree = random_deployment
+        base = rng.integers(500, 600, size=tree.num_vertices)
+        jump = base + 640  # ten windows away
+        outcomes, _ = drive(LCLLSlip(spec(4000)), tree, [base, jump])
+        assert 9 <= outcomes[1].refinements <= 12
+
+    def test_small_moves_are_refinement_free(self, random_deployment, rng):
+        _, tree = random_deployment
+        base = rng.integers(500, 520, size=tree.num_vertices)
+        rounds = [base, base + 3, base + 6, base + 3]
+        outcomes, _ = drive(LCLLSlip(spec(4000)), tree, rounds)
+        # Quantile moves of 3 stay inside the 64-value window.
+        assert all(o.refinements == 0 for o in outcomes[1:])
+
+    def test_boundary_counters_stay_consistent(self, random_deployment, rng):
+        """Long random walks must never trip the negative-count guards."""
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 30, 0, 4000, drift=25.0)
+        drive(LCLLSlip(spec(4000)), tree, rounds)

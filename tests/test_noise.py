@@ -1,0 +1,72 @@
+"""Unit tests for the interpolated-noise field (Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.noise import interpolated_noise, sample_field
+from repro.errors import ConfigurationError
+
+
+class TestInterpolatedNoise:
+    def test_shape_and_range(self, rng):
+        field = interpolated_noise(rng, shape=(64, 48))
+        assert field.shape == (64, 48)
+        assert field.min() == pytest.approx(0.0)
+        assert field.max() == pytest.approx(1.0)
+
+    def test_deterministic_under_seed(self):
+        a = interpolated_noise(np.random.default_rng(5), shape=(32, 32))
+        b = interpolated_noise(np.random.default_rng(5), shape=(32, 32))
+        assert np.array_equal(a, b)
+
+    def test_spatially_smooth(self, rng):
+        field = interpolated_noise(rng, shape=(128, 128))
+        horizontal = np.abs(np.diff(field, axis=1))
+        # Neighbouring pixels differ far less than the full dynamic range.
+        assert horizontal.mean() < 0.05
+
+    def test_more_octaves_add_detail(self, rng):
+        smooth = interpolated_noise(np.random.default_rng(1), octaves=1)
+        rough = interpolated_noise(np.random.default_rng(1), octaves=5)
+        assert np.abs(np.diff(rough, axis=1)).mean() > np.abs(
+            np.diff(smooth, axis=1)
+        ).mean()
+
+    def test_invalid_arguments_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            interpolated_noise(rng, octaves=0)
+        with pytest.raises(ConfigurationError):
+            interpolated_noise(rng, base_cells=1)
+        with pytest.raises(ConfigurationError):
+            interpolated_noise(rng, persistence=0.0)
+
+
+class TestSampleField:
+    def test_corner_mapping(self, rng):
+        field = interpolated_noise(rng, shape=(16, 16))
+        positions = np.array([[0.0, 0.0], [199.9, 199.9]])
+        sampled = sample_field(field, positions, area_side=200.0)
+        assert sampled[0] == field[0, 0]
+        assert sampled[1] == field[15, 15]
+
+    def test_positions_at_boundary_clip_safely(self, rng):
+        field = interpolated_noise(rng, shape=(8, 8))
+        positions = np.array([[200.0, 200.0]])
+        sample_field(field, positions, area_side=200.0)  # must not raise
+
+    def test_nearby_positions_get_similar_values(self, rng):
+        field = interpolated_noise(rng, shape=(256, 256))
+        anchor = np.array([[100.0, 100.0]])
+        nearby = anchor + rng.uniform(-2, 2, size=(50, 2))
+        far = rng.uniform(0, 200, size=(50, 2))
+        anchor_value = sample_field(field, anchor, 200.0)[0]
+        nearby_spread = np.abs(sample_field(field, nearby, 200.0) - anchor_value)
+        far_spread = np.abs(sample_field(field, far, 200.0) - anchor_value)
+        assert nearby_spread.mean() < far_spread.mean()
+
+    def test_bad_area_rejected(self, rng):
+        field = interpolated_noise(rng, shape=(8, 8))
+        with pytest.raises(ConfigurationError):
+            sample_field(field, np.zeros((1, 2)), area_side=0.0)

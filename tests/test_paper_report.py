@@ -1,0 +1,57 @@
+"""Unit tests for the one-shot evaluation report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import default_algorithms
+from repro.experiments.paper import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    """A fast two-algorithm regeneration (module-scoped: ~10 s)."""
+    algorithms = {
+        name: factory
+        for name, factory in default_algorithms().items()
+        if name in ("HBC", "IQ")
+    }
+    return generate_report(scale=0.05, algorithms=algorithms)
+
+
+class TestGenerateReport:
+    def test_contains_every_figure_section(self, report):
+        for figure in ("Figure 6", "Figure 7", "Figure 8", "Figure 9",
+                       "Figure 10", "Figures 4 and 5"):
+            assert figure in report.markdown
+
+    def test_contains_both_metrics(self, report):
+        assert "max_energy_mj" in report.markdown
+        assert "lifetime_rounds" in report.markdown
+
+    def test_analysis_lines_present(self, report):
+        assert "overall winner" in report.markdown
+        assert "cheapest algorithm per setting" in report.markdown
+
+    def test_sweeps_returned_for_further_analysis(self, report):
+        assert set(report.sweeps) == {
+            "num_nodes",
+            "period",
+            "noise_percent",
+            "radio_range",
+            "pressure-optimistic",
+            "pressure-pessimistic",
+        }
+        for result in report.sweeps.values():
+            assert result.xs
+            assert "IQ" in result.series
+
+    def test_node_counts_scaled_with_floor(self, report):
+        xs = report.sweeps["num_nodes"].xs
+        assert min(xs) >= 75
+        assert xs == sorted(set(xs))
+
+    def test_infeasible_radio_range_dropped(self, report):
+        xs = report.sweeps["radio_range"].xs
+        assert 15.0 not in xs
+        assert 35.0 in xs

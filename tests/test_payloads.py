@@ -1,0 +1,206 @@
+"""Unit tests for the shared payload types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import (
+    BUCKET_COUNT_BITS,
+    BUCKET_ID_BITS,
+    COUNTER_BITS,
+    VALUE_BITS,
+)
+from repro.core.payloads import (
+    BucketDeltaPayload,
+    CombinedPayload,
+    HistogramPayload,
+    ValidationPayload,
+    ValueSetPayload,
+    merge_sorted,
+    prune_with_ties,
+)
+from repro.errors import ProtocolError
+
+
+class TestMergeSorted:
+    def test_basic(self):
+        assert merge_sorted((1, 3, 5), (2, 4)) == (1, 2, 3, 4, 5)
+
+    def test_empty_sides(self):
+        assert merge_sorted((), (1, 2)) == (1, 2)
+        assert merge_sorted((1, 2), ()) == (1, 2)
+
+    def test_duplicates_preserved(self):
+        assert merge_sorted((2, 2), (2,)) == (2, 2, 2)
+
+
+class TestPruneWithTies:
+    def test_no_prune_when_small(self):
+        assert prune_with_ties((1, 2, 3), keep=5, keep_largest=False) == (1, 2, 3)
+
+    def test_keep_none_passthrough(self):
+        assert prune_with_ties((1, 2, 3), keep=None, keep_largest=True) == (1, 2, 3)
+
+    def test_keep_smallest(self):
+        assert prune_with_ties((1, 2, 3, 4, 5), 2, keep_largest=False) == (1, 2)
+
+    def test_keep_largest(self):
+        assert prune_with_ties((1, 2, 3, 4, 5), 2, keep_largest=True) == (4, 5)
+
+    def test_smallest_keeps_boundary_ties(self):
+        assert prune_with_ties((1, 2, 2, 2, 5), 2, keep_largest=False) == (1, 2, 2, 2)
+
+    def test_largest_keeps_boundary_ties(self):
+        assert prune_with_ties((1, 4, 4, 4, 5), 2, keep_largest=True) == (4, 4, 4, 5)
+
+    def test_nonpositive_keep_rejected(self):
+        with pytest.raises(ProtocolError):
+            prune_with_ties((1, 2), 0, keep_largest=False)
+
+
+class TestValidationPayload:
+    def test_merge_adds_counters(self):
+        a = ValidationPayload(into_lt=1, outof_gt=1, hint_min=5, hint_max=5)
+        b = ValidationPayload(into_gt=2, hint_min=9, hint_max=9)
+        merged = a.merged_with(b)
+        assert merged.into_lt == 1
+        assert merged.into_gt == 2
+        assert merged.outof_gt == 1
+        assert merged.hint_min == 5
+        assert merged.hint_max == 9
+
+    def test_merge_none_hints(self):
+        a = ValidationPayload(into_lt=1)
+        b = ValidationPayload(into_gt=1, hint_min=3, hint_max=3)
+        merged = a.merged_with(b)
+        assert merged.hint_min == 3 and merged.hint_max == 3
+
+    def test_merge_unions_values(self):
+        a = ValidationPayload(values=(1, 5))
+        b = ValidationPayload(values=(3,))
+        assert a.merged_with(b).values == (1, 3, 5)
+
+    def test_size_counters_only(self):
+        payload = ValidationPayload(into_lt=1, hint_values=0)
+        assert payload.payload_bits() == 4 * COUNTER_BITS
+
+    def test_size_with_two_hints(self):
+        payload = ValidationPayload(into_lt=1, hint_min=2, hint_max=2, hint_values=2)
+        assert payload.payload_bits() == 4 * COUNTER_BITS + 2 * VALUE_BITS
+
+    def test_size_with_max_diff_hint(self):
+        payload = ValidationPayload(into_lt=1, hint_min=2, hint_max=2, hint_values=1)
+        assert payload.payload_bits() == 4 * COUNTER_BITS + VALUE_BITS
+
+    def test_size_with_values(self):
+        payload = ValidationPayload(values=(1, 2, 3))
+        assert payload.payload_bits() == 4 * COUNTER_BITS + 3 * VALUE_BITS
+        assert payload.num_values() == 3
+
+    def test_emptiness(self):
+        assert ValidationPayload().is_empty()
+        assert not ValidationPayload(into_lt=1).is_empty()
+        assert not ValidationPayload(values=(1,)).is_empty()
+        assert not ValidationPayload(hint_min=1, hint_max=1).is_empty()
+
+
+class TestValueSetPayload:
+    def test_merge_unpruned(self):
+        merged = ValueSetPayload(values=(1, 4)).merged_with(
+            ValueSetPayload(values=(2,))
+        )
+        assert merged.values == (1, 2, 4)
+
+    def test_merge_prunes_smallest(self):
+        a = ValueSetPayload(values=(1, 9), keep=2)
+        b = ValueSetPayload(values=(2, 8), keep=2)
+        assert a.merged_with(b).values == (1, 2)
+
+    def test_merge_prunes_largest_with_ties(self):
+        a = ValueSetPayload(values=(5, 9), keep=2, keep_largest=True)
+        b = ValueSetPayload(values=(9, 9), keep=2, keep_largest=True)
+        assert a.merged_with(b).values == (9, 9, 9)
+
+    def test_mixed_pruning_rejected(self):
+        a = ValueSetPayload(values=(1,), keep=2)
+        b = ValueSetPayload(values=(2,), keep=3)
+        with pytest.raises(ProtocolError):
+            a.merged_with(b)
+
+    def test_size_and_values(self):
+        payload = ValueSetPayload(values=(1, 2, 3))
+        assert payload.payload_bits() == 3 * VALUE_BITS
+        assert payload.num_values() == 3
+        assert ValueSetPayload().is_empty()
+
+
+class TestHistogramPayload:
+    def test_merge_adds_counts(self):
+        a = HistogramPayload(counts=(1, 0, 2))
+        b = HistogramPayload(counts=(0, 4, 1))
+        assert a.merged_with(b).counts == (1, 4, 3)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            HistogramPayload(counts=(1,)).merged_with(HistogramPayload(counts=(1, 2)))
+
+    def test_dense_size(self):
+        payload = HistogramPayload(counts=(1, 1, 1, 1), compressed=False)
+        assert payload.payload_bits() == 4 * BUCKET_COUNT_BITS
+
+    def test_compressed_smaller_when_sparse(self):
+        payload = HistogramPayload(counts=(0,) * 63 + (1,))
+        assert payload.payload_bits() == BUCKET_ID_BITS + BUCKET_COUNT_BITS
+
+    def test_compression_never_worse_than_dense(self):
+        dense_counts = tuple(range(1, 9))
+        payload = HistogramPayload(counts=dense_counts)
+        assert payload.payload_bits() <= 8 * BUCKET_COUNT_BITS
+
+    def test_emptiness(self):
+        assert HistogramPayload(counts=(0, 0)).is_empty()
+        assert not HistogramPayload(counts=(0, 1)).is_empty()
+
+
+class TestBucketDeltaPayload:
+    def test_merge_sums_and_drops_zeros(self):
+        a = BucketDeltaPayload(deltas=(((0, 3), -1), ((0, 4), 1)))
+        b = BucketDeltaPayload(deltas=(((0, 4), -1), ((0, 5), 1)))
+        merged = a.merged_with(b).as_dict()
+        assert merged == {(0, 3): -1, (0, 5): 1}
+
+    def test_size_per_entry(self):
+        payload = BucketDeltaPayload(deltas=(((0, 1), 1), ((1, 2), -1)))
+        assert payload.payload_bits() == 2 * (BUCKET_ID_BITS + BUCKET_COUNT_BITS)
+
+    def test_emptiness(self):
+        assert BucketDeltaPayload().is_empty()
+
+
+class TestCombinedPayload:
+    def test_merges_pairwise(self):
+        a = CombinedPayload(parts=(HistogramPayload((1, 0)), ValueSetPayload((3,))))
+        b = CombinedPayload(parts=(HistogramPayload((0, 1)), ValueSetPayload((5,))))
+        merged = a.merged_with(b)
+        assert merged.parts[0].counts == (1, 1)
+        assert merged.parts[1].values == (3, 5)
+
+    def test_size_skips_empty_parts(self):
+        payload = CombinedPayload(
+            parts=(HistogramPayload((0, 0)), ValueSetPayload((1,)))
+        )
+        assert payload.payload_bits() == VALUE_BITS
+
+    def test_arity_mismatch_rejected(self):
+        a = CombinedPayload(parts=(ValueSetPayload((1,)),))
+        b = CombinedPayload(parts=())
+        with pytest.raises(ProtocolError):
+            a.merged_with(b)
+
+    def test_num_values_and_emptiness(self):
+        payload = CombinedPayload(
+            parts=(ValueSetPayload((1, 2)), HistogramPayload((0,)))
+        )
+        assert payload.num_values() == 2
+        assert not payload.is_empty()
+        assert CombinedPayload(parts=(HistogramPayload((0,)),)).is_empty()

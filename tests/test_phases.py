@@ -1,0 +1,72 @@
+"""Unit tests for per-phase traffic attribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pos import POS
+from repro.baselines.tag import TAG
+from repro.core.hbc import HBC
+from repro.core.iq import IQ
+from repro.extensions.adaptive import AdaptiveQuantile
+from repro.sim.runner import SimulationRunner
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+KNOWN_PHASES = {
+    "initialization",
+    "collection",
+    "validation",
+    "refinement",
+    "filter",
+    "switch",
+}
+
+
+def static_provider(values):
+    return lambda _t: values
+
+
+class TestPhaseAttribution:
+    def test_tag_is_collection_only(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        runner = SimulationRunner(small_tree, 35.0)
+        result = runner.run(TAG(QuerySpec(r_max=100)), static_provider(values), 4)
+        assert set(result.phase_bits) <= {"initialization", "collection"}
+        assert result.phase_bits["collection"] > 0
+
+    @pytest.mark.parametrize("factory", [POS, HBC, IQ])
+    def test_phase_bits_cover_all_traffic(self, random_deployment, factory, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 1000, drift=5.0)
+        _, net = drive(factory(QuerySpec(r_min=0, r_max=1000)), tree, rounds)
+        assert set(net.phase_bits) <= KNOWN_PHASES
+        assert sum(net.phase_bits.values()) == int(net.ledger.bits_sent.sum())
+
+    def test_static_rounds_add_no_phase_bits(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        runner = SimulationRunner(small_tree, 35.0)
+        result = runner.run(POS(QuerySpec(r_max=100)), static_provider(values), 5)
+        # After initialization, silence: validation contributes zero bits.
+        assert result.phase_bits.get("validation", 0) == 0
+        assert result.phase_bits.get("refinement", 0) == 0
+
+    def test_refinement_bits_appear_under_motion(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 4095, drift=25.0)
+        algorithm = HBC(QuerySpec(r_min=0, r_max=4095), direct_request_limit=0)
+        _, net = drive(algorithm, tree, rounds)
+        assert net.phase_bits.get("refinement", 0) > 0
+        assert net.phase_bits.get("validation", 0) > 0
+
+    def test_switch_traffic_tagged(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 16, 0, 1000, drift=4.0)
+        algorithm = AdaptiveQuantile(
+            QuerySpec(r_min=0, r_max=1000), probe_every=5, probe_rounds=2
+        )
+        _, net = drive(algorithm, tree, rounds)
+        assert algorithm.switches >= 1
+        assert net.phase_bits.get("switch", 0) > 0

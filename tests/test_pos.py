@@ -1,0 +1,103 @@
+"""Unit tests for the POS baseline (Section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pos import POS
+from repro.errors import ProtocolError
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+
+def spec(r_max: int = 1000) -> QuerySpec:
+    return QuerySpec(phi=0.5, r_min=0, r_max=r_max)
+
+
+class TestPOSCorrectness:
+    def test_static_values_need_no_refinement(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        outcomes, net = drive(POS(spec()), small_tree, [values] * 4)
+        assert all(o.quantile == 30 for o in outcomes)
+        assert all(o.refinements == 0 for o in outcomes)
+        # After initialization nothing changes, so validation is silent.
+        assert np.allclose(net.ledger.round_energy_history[2], 0.0)
+
+    def test_exact_under_drift(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 20, 0, 1000, drift=5.0)
+        drive(POS(spec()), small_tree, rounds)
+
+    def test_exact_under_negative_drift(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 20, 200, 1000, drift=-5.0)
+        drive(POS(spec()), small_tree, rounds)
+
+    def test_exact_on_random_deployment(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 15, 0, 1000, drift=3.0)
+        drive(POS(spec()), tree, rounds)
+
+    def test_exact_with_jumping_quantile(self, small_tree):
+        low = np.array([0, 10, 11, 12, 13, 14, 15, 16])
+        high = np.array([0, 910, 911, 912, 913, 914, 915, 916])
+        drive(POS(spec()), small_tree, [low, high, low, high])
+
+    def test_exact_with_duplicates(self, small_tree):
+        a = np.array([0, 5, 5, 5, 9, 9, 9, 9])
+        b = np.array([0, 9, 9, 5, 5, 5, 9, 9])
+        drive(POS(spec(20)), small_tree, [a, b, a])
+
+    def test_exact_for_other_quantiles(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 10, 0, 500, drift=4.0)
+        for phi in (0.25, 0.75, 1.0):
+            algorithm = POS(QuerySpec(phi=phi, r_min=0, r_max=500))
+            drive(algorithm, small_tree, rounds)
+
+    def test_update_before_initialize_rejected(self, small_net):
+        algorithm = POS(spec())
+        with pytest.raises(ProtocolError):
+            algorithm.update(small_net, np.zeros(8, dtype=np.int64))
+
+
+class TestPOSBehaviour:
+    def test_binary_search_used_without_direct_requests(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 10, 0, 1000, drift=10.0)
+        algorithm = POS(spec(), direct_request_limit=0)
+        outcomes, _ = drive(algorithm, tree, rounds)
+        assert not any(o.direct_request for o in outcomes)
+        assert any(o.refinements > 0 for o in outcomes)
+
+    def test_direct_request_avoids_binary_search_on_small_networks(
+        self, small_tree, rng
+    ):
+        rounds = random_rounds(rng, 8, 10, 0, 1000, drift=10.0)
+        outcomes, _ = drive(POS(spec()), small_tree, rounds)
+        # 7 candidate values always fit one message: never binary-search.
+        assert all(o.refinements == 0 for o in outcomes)
+
+    def test_refinements_bounded_by_log_universe(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 4095, drift=20.0)
+        algorithm = POS(spec(4095), direct_request_limit=0)
+        outcomes, _ = drive(algorithm, tree, rounds)
+        for outcome in outcomes:
+            assert outcome.refinements <= 13  # log2(4096) + slack
+
+    def test_filter_broadcast_only_after_direct_request(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 8, 0, 1000, drift=10.0)
+        outcomes, _ = drive(POS(spec()), small_tree, rounds)
+        for outcome in outcomes[1:]:
+            assert outcome.filter_broadcast == outcome.direct_request
+
+    def test_hints_shrink_search(self, random_deployment, rng):
+        """With temporally correlated values the hint-bounded search beats
+        a full-universe binary search in refinement count."""
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 15, 0, 65535, drift=3.0)
+        algorithm = POS(QuerySpec(r_min=0, r_max=65535), direct_request_limit=0)
+        outcomes, _ = drive(algorithm, tree, rounds)
+        refining = [o.refinements for o in outcomes[1:] if o.refinements]
+        assert refining, "expected some refinements under drift"
+        assert np.mean(refining) < 16  # full binary search would need ~16

@@ -1,0 +1,127 @@
+"""Unit tests for the air-pressure workload substitute (Section 5.1.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.pressure import (
+    DEFAULT_RESOLUTION_HPA,
+    PESSIMISTIC_RANGE_HPA,
+    PressureWorkload,
+)
+from repro.errors import ConfigurationError
+
+
+def make_workload(seed: int = 11, **kwargs) -> PressureWorkload:
+    defaults = dict(num_nodes=80, num_rounds=40, som_iterations=2)
+    defaults.update(kwargs)
+    return PressureWorkload(np.random.default_rng(seed), **defaults)
+
+
+class TestPressureWorkload:
+    def test_basic_shape(self):
+        workload = make_workload()
+        assert workload.num_sensor_nodes == 80
+        assert workload.num_vertices == 81
+        values = workload.values(0)
+        assert len(values) == 81
+        assert values.dtype == np.int64
+
+    def test_values_inside_universe(self):
+        workload = make_workload()
+        for t in (0, 13, 39):
+            values = workload.values(t)[1:]
+            assert values.min() >= workload.r_min
+            assert values.max() <= workload.r_max
+
+    def test_optimistic_range_tight(self):
+        workload = make_workload()
+        low = PESSIMISTIC_RANGE_HPA[0] / DEFAULT_RESOLUTION_HPA
+        high = PESSIMISTIC_RANGE_HPA[1] / DEFAULT_RESOLUTION_HPA
+        assert workload.r_min > low
+        assert workload.r_max < high
+        assert workload.r_max - workload.r_min < 1200
+
+    def test_pessimistic_range_fixed(self):
+        workload = make_workload(pessimistic=True)
+        assert workload.r_min == 8560
+        assert workload.r_max == 10860
+
+    def test_resolution_scales_universe(self):
+        coarse = make_workload(seed=31, resolution=1.0)
+        fine = make_workload(seed=31, resolution=0.1)
+        coarse_span = coarse.r_max - coarse.r_min
+        fine_span = fine.r_max - fine.r_min
+        assert 8 <= fine_span / coarse_span <= 12
+
+    def test_skip_subsamples_the_trace(self):
+        dense = make_workload(seed=21, skip=1, num_rounds=40)
+        sparse = make_workload(seed=21, skip=4, num_rounds=10)
+        assert np.array_equal(dense.values(4), sparse.values(1))
+
+    def test_skip_weakens_temporal_correlation(self):
+        dense = make_workload(seed=5, skip=1, num_rounds=200)
+        sparse = make_workload(seed=5, skip=16, num_rounds=12)
+
+        def mean_step(workload, rounds):
+            meds = [int(np.median(workload.values(t)[1:])) for t in range(rounds)]
+            return np.abs(np.diff(meds)).mean()
+
+        assert mean_step(sparse, 12) > mean_step(dense, 12)
+
+    def test_temporal_correlation_present(self):
+        workload = make_workload()
+        a, b = workload.values(0)[1:], workload.values(1)[1:]
+        universe = workload.r_max - workload.r_min
+        # Consecutive readings move by a small fraction of the universe.
+        assert np.abs(a - b).mean() < 0.1 * universe
+
+    def test_som_gives_spatial_correlation(self):
+        workload = make_workload(num_nodes=150)
+        positions = workload.positions[1:]
+        values = workload.values(0)[1:].astype(float)
+        # Compare value distance of spatial neighbours vs random pairs.
+        from repro.network.geometry import pairwise_distances
+
+        dist = pairwise_distances(positions)
+        np.fill_diagonal(dist, np.inf)
+        nearest = dist.argmin(axis=1)
+        neighbour_diff = np.abs(values - values[nearest]).mean()
+        rng = np.random.default_rng(0)
+        random_diff = np.abs(values - rng.permutation(values)).mean()
+        assert neighbour_diff < random_diff
+
+    def test_rounds_beyond_trace_rejected(self):
+        workload = make_workload(num_rounds=10)
+        workload.values(10)  # one spare sample exists
+        with pytest.raises(ConfigurationError):
+            workload.values(11)
+
+    def test_with_root_moves_only_the_root(self):
+        workload = make_workload()
+        moved = workload.with_root(17)
+        assert moved.root_node == 17
+        assert np.array_equal(moved.positions[1:], workload.positions[1:])
+        assert not np.array_equal(moved.positions[0], workload.positions[0])
+        assert np.array_equal(moved.values(3), workload.values(3))
+
+    def test_with_root_is_deterministic(self):
+        workload = make_workload()
+        a = workload.with_root(5).positions[0]
+        b = workload.with_root(5).positions[0]
+        assert np.array_equal(a, b)
+
+    def test_invalid_arguments_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            PressureWorkload(rng, num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            PressureWorkload(rng, num_nodes=10, skip=0)
+        with pytest.raises(ConfigurationError):
+            PressureWorkload(rng, num_nodes=10, root_node=10)
+        workload = make_workload()
+        with pytest.raises(ConfigurationError):
+            workload.with_root(999)
+        with pytest.raises(ConfigurationError):
+            workload.values(-1)

@@ -1,0 +1,140 @@
+"""Property-based tests: every algorithm is exact on arbitrary traces.
+
+Hypothesis drives each algorithm over adversarial measurement sequences on
+the fixed 8-vertex tree — duplicates, jumps, constant stretches, universe
+edges — and asserts every round against the centralized oracle (the drive
+helper raises on mismatch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lcll import LCLLHierarchical, LCLLSlip
+from repro.baselines.pos import POS
+from repro.baselines.tag import TAG
+from repro.core.hbc import HBC
+from repro.core.iq import IQ
+from repro.network.tree import tree_from_parents
+from repro.types import QuerySpec
+
+from tests.helpers import drive
+
+ALGORITHMS = [TAG, POS, HBC, IQ, LCLLHierarchical, LCLLSlip]
+
+R_MAX = 255
+
+
+def tree():
+    return tree_from_parents(0, [-1, 0, 0, 1, 1, 2, 4, 2])
+
+
+# A trace: 2-8 rounds of 7 sensor values each (vertex 0 is the root).
+traces = st.lists(
+    st.lists(st.integers(0, R_MAX), min_size=7, max_size=7),
+    min_size=2,
+    max_size=8,
+)
+
+phis = st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def to_rounds(trace):
+    return [np.array([0] + row, dtype=np.int64) for row in trace]
+
+
+@pytest.mark.parametrize("factory", ALGORITHMS, ids=lambda f: f.name)
+class TestExactOnArbitraryTraces:
+    @common_settings
+    @given(trace=traces, phi=phis)
+    def test_exact_every_round(self, factory, trace, phi):
+        spec = QuerySpec(phi=phi, r_min=0, r_max=R_MAX)
+        drive(factory(spec), tree(), to_rounds(trace))
+
+    @common_settings
+    @given(
+        base=st.lists(st.integers(0, R_MAX), min_size=7, max_size=7),
+        deltas=st.lists(
+            st.lists(st.integers(-4, 4), min_size=7, max_size=7),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_exact_under_smooth_motion(self, factory, base, deltas):
+        """Temporally correlated traces: the algorithms' design regime."""
+        rounds = [np.array([0] + base, dtype=np.int64)]
+        current = np.array(base)
+        for delta in deltas:
+            current = np.clip(current + np.array(delta), 0, R_MAX)
+            rounds.append(np.concatenate([[0], current]).astype(np.int64))
+        drive(factory(QuerySpec(r_min=0, r_max=R_MAX)), tree(), rounds)
+
+
+class TestAdaptiveProperties:
+    @common_settings
+    @given(trace=traces)
+    def test_adaptive_exact_across_arbitrary_traces(self, trace):
+        from repro.extensions.adaptive import AdaptiveQuantile
+
+        spec = QuerySpec(r_min=0, r_max=R_MAX)
+        algorithm = AdaptiveQuantile(spec, probe_every=3, probe_rounds=1)
+        drive(algorithm, tree(), to_rounds(trace))
+
+
+class TestConfigurationMatrix:
+    """Exactness across the algorithms' own configuration axes."""
+
+    @common_settings
+    @given(trace=traces, buckets=st.sampled_from([2, 3, 5, 16, 64]))
+    def test_hbc_any_bucket_count(self, trace, buckets):
+        spec = QuerySpec(r_min=0, r_max=R_MAX)
+        algorithm = HBC(spec, num_buckets=buckets, direct_request_limit=0)
+        drive(algorithm, tree(), to_rounds(trace))
+
+    @common_settings
+    @given(trace=traces, tracking=st.booleans(), direct=st.sampled_from([0, 4, 64]))
+    def test_hbc_extension_matrix(self, trace, tracking, direct):
+        spec = QuerySpec(r_min=0, r_max=R_MAX)
+        algorithm = HBC(
+            spec, interval_tracking=tracking, direct_request_limit=direct
+        )
+        drive(algorithm, tree(), to_rounds(trace))
+
+    @common_settings
+    @given(
+        trace=traces,
+        window=st.integers(2, 8),
+        hints=st.booleans(),
+        init=st.sampled_from(["mean_gap", "median_gap"]),
+    )
+    def test_iq_configuration_matrix(self, trace, window, hints, init):
+        spec = QuerySpec(r_min=0, r_max=R_MAX)
+        algorithm = IQ(spec, window=window, use_hints=hints, xi_init=init)
+        drive(algorithm, tree(), to_rounds(trace))
+
+    @common_settings
+    @given(trace=traces, cells=st.sampled_from([2, 8, 64]))
+    def test_lcll_slip_window_sizes(self, trace, cells):
+        spec = QuerySpec(r_min=0, r_max=R_MAX)
+        drive(LCLLSlip(spec, cells), tree(), to_rounds(trace))
+
+    @common_settings
+    @given(trace=traces, buckets=st.sampled_from([2, 8, 64]))
+    def test_lcll_h_bucket_counts(self, trace, buckets):
+        spec = QuerySpec(r_min=0, r_max=R_MAX)
+        drive(LCLLHierarchical(spec, buckets), tree(), to_rounds(trace))
+
+    @common_settings
+    @given(trace=traces, limit=st.sampled_from([0, 2, 64]))
+    def test_pos_direct_limits(self, trace, limit):
+        spec = QuerySpec(r_min=0, r_max=R_MAX)
+        drive(POS(spec, direct_request_limit=limit), tree(), to_rounds(trace))

@@ -1,0 +1,178 @@
+"""Property-based tests for the core data structures and primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import HEADER_BITS, MAX_PAYLOAD_BITS
+from repro.core.cost_model import lambert_w
+from repro.core.histogram import make_grid
+from repro.core.payloads import merge_sorted, prune_with_ties
+from repro.core.xi import XiTracker
+from repro.radio.message import message_bits
+from repro.sim.oracle import exact_quantile, rank_of_value
+
+values_lists = st.lists(st.integers(0, 1000), min_size=0, max_size=50)
+
+
+class TestMergeSortedProperties:
+    @given(values_lists, values_lists)
+    def test_equals_sorted_concatenation(self, a, b):
+        left, right = tuple(sorted(a)), tuple(sorted(b))
+        assert merge_sorted(left, right) == tuple(sorted(a + b))
+
+    @given(values_lists, values_lists)
+    def test_commutative(self, a, b):
+        left, right = tuple(sorted(a)), tuple(sorted(b))
+        assert merge_sorted(left, right) == merge_sorted(right, left)
+
+
+class TestPruneWithTiesProperties:
+    @given(values_lists, st.integers(1, 60), st.booleans())
+    def test_result_is_sorted_subset(self, values, keep, keep_largest):
+        ascending = tuple(sorted(values))
+        pruned = prune_with_ties(ascending, keep, keep_largest)
+        assert list(pruned) == sorted(pruned)
+        # Multiset inclusion.
+        remaining = list(ascending)
+        for value in pruned:
+            remaining.remove(value)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=50), st.integers(1, 60))
+    def test_largest_keeps_exactly_values_geq_boundary(self, values, keep):
+        ascending = tuple(sorted(values))
+        pruned = prune_with_ties(ascending, keep, keep_largest=True)
+        if len(ascending) <= keep:
+            assert pruned == ascending
+        else:
+            boundary = ascending[-keep]
+            expected = tuple(v for v in ascending if v >= boundary)
+            assert pruned == expected
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=50), st.integers(1, 60))
+    def test_smallest_keeps_exactly_values_leq_boundary(self, values, keep):
+        ascending = tuple(sorted(values))
+        pruned = prune_with_ties(ascending, keep, keep_largest=False)
+        if len(ascending) <= keep:
+            assert pruned == ascending
+        else:
+            boundary = ascending[keep - 1]
+            expected = tuple(v for v in ascending if v <= boundary)
+            assert pruned == expected
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+           st.integers(1, 50), st.booleans())
+    def test_never_shorter_than_keep(self, values, keep, keep_largest):
+        ascending = tuple(sorted(values))
+        pruned = prune_with_ties(ascending, keep, keep_largest)
+        assert len(pruned) >= min(keep, len(ascending))
+
+
+class TestGridProperties:
+    @given(
+        st.integers(-10_000, 10_000),
+        st.integers(0, 5_000),
+        st.integers(1, 128),
+    )
+    def test_partition_is_exact(self, low, width, buckets):
+        high = low + width
+        grid = make_grid(low, high, buckets)
+        # Edges strictly increase and tile [low, high+1).
+        assert grid.edges[0] == low
+        assert grid.edges[-1] == high + 1
+        assert all(a < b for a, b in zip(grid.edges, grid.edges[1:]))
+        # Widths sum to the interval and are near-equal.
+        widths = [grid.bucket_width(i) for i in range(grid.num_buckets)]
+        assert sum(widths) == width + 1
+        assert max(widths) - min(widths) <= 1
+
+    @given(
+        st.integers(-1000, 1000),
+        st.integers(0, 2000),
+        st.integers(1, 64),
+        st.data(),
+    )
+    def test_bucket_of_consistent_with_bounds(self, low, width, buckets, data):
+        high = low + width
+        grid = make_grid(low, high, buckets)
+        value = data.draw(st.integers(low, high))
+        index = grid.bucket_of(value)
+        bucket_low, bucket_high = grid.bucket_bounds(index)
+        assert bucket_low <= value <= bucket_high
+
+
+class TestLambertWProperties:
+    @given(st.floats(0.0, 1e12, allow_nan=False))
+    def test_defining_equation(self, x):
+        w = lambert_w(x)
+        assert w >= 0
+        assert math.isclose(w * math.exp(w), x, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(st.floats(0.0, 1e6), st.floats(0.0, 1e6))
+    def test_monotone(self, a, b):
+        if a > b:
+            a, b = b, a
+        assert lambert_w(a) <= lambert_w(b) + 1e-12
+
+
+class TestMessageProperties:
+    @given(st.integers(0, 10 * MAX_PAYLOAD_BITS))
+    def test_frames_are_minimal_and_sufficient(self, payload):
+        cost = message_bits(payload)
+        assert cost.messages * MAX_PAYLOAD_BITS >= payload
+        if cost.messages > 1:
+            assert (cost.messages - 1) * MAX_PAYLOAD_BITS < payload
+        assert cost.total_bits == cost.messages * HEADER_BITS + payload
+
+    @given(st.integers(0, 100_000), st.integers(0, 100_000))
+    def test_total_bits_monotone(self, a, b):
+        if a > b:
+            a, b = b, a
+        assert message_bits(a).total_bits <= message_bits(b).total_bits
+
+
+class TestOracleProperties:
+    @given(st.lists(st.integers(-500, 500), min_size=1, max_size=80), st.data())
+    def test_quantile_is_sorted_index(self, values, data):
+        k = data.draw(st.integers(1, len(values)))
+        assert exact_quantile(np.array(values), k) == sorted(values)[k - 1]
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=60),
+           st.integers(-5, 55))
+    def test_rank_counts_partition(self, values, probe):
+        less, equal, greater = rank_of_value(np.array(values), probe)
+        assert less == sum(1 for v in values if v < probe)
+        assert equal == sum(1 for v in values if v == probe)
+        assert less + equal + greater == len(values)
+
+
+class TestXiTrackerProperties:
+    @settings(max_examples=50)
+    @given(
+        st.integers(0, 1000),
+        st.lists(st.integers(0, 1000), min_size=0, max_size=30),
+        st.integers(2, 10),
+    )
+    def test_band_always_contains_current_quantile(self, start, quantiles, window):
+        tracker = XiTracker(start, xi_seed=3, window=window)
+        for quantile in quantiles:
+            tracker.observe(quantile)
+            low, high = tracker.band()
+            assert low <= tracker.current_quantile <= high
+            assert tracker.xi_left <= 0 <= tracker.xi_right
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=20))
+    def test_band_covers_recent_deltas(self, deltas):
+        """Any delta seen in the window is representable by the band."""
+        tracker = XiTracker(500, xi_seed=1, window=len(deltas) + 1)
+        quantile = 500
+        for delta in deltas:
+            quantile += delta
+            tracker.observe(quantile)
+        assert tracker.xi_left <= min(deltas + [0])
+        assert tracker.xi_right >= max(deltas + [0])

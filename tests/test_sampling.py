@@ -1,0 +1,103 @@
+"""Unit tests for the layered-sampling extension and relay trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pos import POS
+from repro.core.iq import IQ
+from repro.errors import ConfigurationError, TopologyError
+from repro.extensions.sampling import run_sampling_experiment, sample_layer
+from repro.sim.oracle import exact_quantile
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+
+class TestRelayTrees:
+    def test_with_relays_shrinks_sensor_set(self, small_tree):
+        tree = small_tree.with_relays({3, 5})
+        assert tree.num_sensor_nodes == 5
+        assert 3 not in tree.sensor_nodes
+        assert 5 not in tree.sensor_nodes
+        assert tree.num_vertices == 8  # topology unchanged
+
+    def test_root_cannot_be_relay(self, small_tree):
+        with pytest.raises(TopologyError):
+            small_tree.with_relays({0})
+
+    def test_out_of_range_rejected(self, small_tree):
+        with pytest.raises(TopologyError):
+            small_tree.with_relays({99})
+
+    def test_must_keep_a_sensor(self, small_tree):
+        with pytest.raises(TopologyError):
+            small_tree.with_relays(set(range(1, 8)))
+
+    def test_algorithms_exact_over_the_layer(self, small_tree, rng):
+        """Relay trees: answers are exact quantiles *of the layer*."""
+        tree = small_tree.with_relays({4, 7})
+        spec = QuerySpec(r_min=0, r_max=500)
+        rounds = random_rounds(rng, 8, 10, 0, 500, drift=4.0)
+        for factory in (POS, IQ):
+            outcomes, _ = drive(factory(spec), tree, rounds)
+            sensors = list(tree.sensor_nodes)
+            for values, outcome in zip(rounds, outcomes):
+                k = max(1, len(sensors) // 2)
+                assert outcome.quantile == exact_quantile(values[sensors], k)
+
+    def test_relay_on_forwarding_path_still_forwards(self, small_tree, rng):
+        # Vertex 4 is vertex 6's parent; as a relay it must still forward.
+        tree = small_tree.with_relays({4})
+        spec = QuerySpec(r_min=0, r_max=500)
+        rounds = random_rounds(rng, 8, 6, 0, 500, drift=5.0)
+        _, net = drive(IQ(spec), tree, rounds)
+        assert net.ledger.messages_sent[4] > 0
+
+
+class TestSampleLayer:
+    def test_fraction_one_is_identity(self, small_tree, rng):
+        assert sample_layer(small_tree, 1.0, rng) is small_tree
+
+    def test_fraction_controls_layer_size(self, random_deployment, rng):
+        _, tree = random_deployment
+        half = sample_layer(tree, 0.5, rng)
+        assert half.num_sensor_nodes == round(0.5 * tree.num_sensor_nodes)
+
+    def test_minimum_two_sensors(self, small_tree, rng):
+        tiny = sample_layer(small_tree, 0.01, rng)
+        assert tiny.num_sensor_nodes == 2
+
+    def test_invalid_fraction_rejected(self, small_tree, rng):
+        with pytest.raises(ConfigurationError):
+            sample_layer(small_tree, 0.0, rng)
+        with pytest.raises(ConfigurationError):
+            sample_layer(small_tree, 1.5, rng)
+
+
+class TestSamplingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sampling_experiment(
+            fractions=(0.2, 0.5, 1.0), num_nodes=120, num_rounds=20
+        )
+
+    def test_full_layer_is_exact(self, result):
+        full = result.points[-1]
+        assert full.fraction == 1.0
+        assert full.exact_fraction == 1.0
+        assert full.mean_rank_error == 0.0
+
+    def test_rank_error_shrinks_with_fraction(self, result):
+        errors = [p.mean_rank_error for p in result.points]
+        assert errors[0] > errors[-1]
+
+    def test_sampling_saves_energy(self, result):
+        energies = [p.hotspot_energy_mj for p in result.points]
+        assert energies[0] < energies[-1]
+
+    def test_layer_sizes_recorded(self, result):
+        sizes = [p.layer_size for p in result.points]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 120

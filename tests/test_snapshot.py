@@ -1,0 +1,87 @@
+"""Unit tests for the snapshot quantile queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.sim.oracle import exact_quantile, rank_of_value
+from repro.snapshot import bary_snapshot, tag_snapshot
+
+from tests.conftest import make_network
+
+
+class TestTagSnapshot:
+    def test_exact(self, small_tree, rng):
+        values = rng.integers(0, 200, size=8)
+        sensors = list(small_tree.sensor_nodes)
+        for k in (1, 3, 7):
+            net = make_network(small_tree)
+            result = tag_snapshot(net, values, k)
+            assert result.quantile == exact_quantile(values[sensors], k)
+            truth = rank_of_value(values[sensors], result.quantile)
+            assert (result.counters.l, result.counters.e, result.counters.g) == truth
+
+
+class TestBarySnapshot:
+    def test_exact_with_direct_request(self, small_tree, rng):
+        values = rng.integers(0, 1000, size=8)
+        sensors = list(small_tree.sensor_nodes)
+        for k in (1, 4, 7):
+            net = make_network(small_tree)
+            result = bary_snapshot(net, values, k, r_min=0, r_max=1000)
+            assert result.quantile == exact_quantile(values[sensors], k)
+
+    def test_exact_pure_descent(self, random_deployment, rng):
+        _, tree = random_deployment
+        values = rng.integers(0, 4095, size=tree.num_vertices)
+        sensors = list(tree.sensor_nodes)
+        for k in (1, 30, 60):
+            net = make_network(tree)
+            result = bary_snapshot(
+                net, values, k, 0, 4095, direct_request_limit=0
+            )
+            assert result.quantile == exact_quantile(values[sensors], k)
+            truth = rank_of_value(values[sensors], result.quantile)
+            assert (result.counters.l, result.counters.e, result.counters.g) == truth
+
+    def test_refinement_count_is_logarithmic(self, random_deployment, rng):
+        _, tree = random_deployment
+        values = rng.integers(0, 65535, size=tree.num_vertices)
+        net = make_network(tree)
+        result = bary_snapshot(
+            net, values, 30, 0, 65535, num_buckets=16, direct_request_limit=0
+        )
+        # log_16(65536) = 4 descents, plus slack for uneven buckets.
+        assert result.refinements <= 5
+
+    def test_more_buckets_fewer_refinements(self, random_deployment, rng):
+        _, tree = random_deployment
+        values = rng.integers(0, 65535, size=tree.num_vertices)
+        refinements = {}
+        for buckets in (2, 64):
+            net = make_network(tree)
+            result = bary_snapshot(
+                net, values, 30, 0, 65535,
+                num_buckets=buckets, direct_request_limit=0,
+            )
+            refinements[buckets] = result.refinements
+        assert refinements[64] < refinements[2]
+
+    def test_duplicates(self, small_tree):
+        values = np.array([0, 7, 7, 7, 7, 2, 2, 9])
+        net = make_network(small_tree)
+        result = bary_snapshot(net, values, 4, 0, 20, direct_request_limit=0)
+        assert result.quantile == 7
+        assert result.counters.e == 4
+
+    def test_bad_rank_rejected(self, small_tree):
+        net = make_network(small_tree)
+        with pytest.raises(ProtocolError):
+            bary_snapshot(net, np.zeros(8, dtype=int), 8, 0, 10)
+
+    def test_bad_buckets_rejected(self, small_tree):
+        net = make_network(small_tree)
+        with pytest.raises(ProtocolError):
+            bary_snapshot(net, np.zeros(8, dtype=int), 1, 0, 10, num_buckets=1)

@@ -1,0 +1,72 @@
+"""Unit tests for the self-organizing-map placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.som import SelfOrganizingMap, som_positions
+from repro.errors import ConfigurationError
+
+
+class TestSelfOrganizingMap:
+    def test_weights_span_feature_range(self, rng):
+        som = SelfOrganizingMap(grid_side=6, iterations=5)
+        features = rng.uniform(100, 200, size=60)
+        som.fit(features, rng)
+        assert som.weights is not None
+        assert som.weights.min() >= 0.0
+        assert 100 <= som.weights.mean() <= 200
+
+    def test_bmu_before_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelfOrganizingMap(4).best_matching_unit(1.0)
+
+    def test_bmu_finds_closest_weight(self, rng):
+        som = SelfOrganizingMap(grid_side=4, iterations=3)
+        som.fit(rng.uniform(0, 10, size=30), rng)
+        row, col = som.best_matching_unit(5.0)
+        assert abs(som.weights[row, col] - 5.0) == pytest.approx(
+            np.abs(som.weights - 5.0).min()
+        )
+
+    def test_topology_preservation(self, rng):
+        """After training, lattice neighbours hold similar weights."""
+        som = SelfOrganizingMap(grid_side=8, iterations=10)
+        som.fit(rng.uniform(0, 100, size=200), rng)
+        horizontal = np.abs(np.diff(som.weights, axis=1)).mean()
+        shuffled = rng.permutation(som.weights.ravel()).reshape(8, 8)
+        shuffled_diff = np.abs(np.diff(shuffled, axis=1)).mean()
+        assert horizontal < shuffled_diff
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelfOrganizingMap(1)
+        with pytest.raises(ConfigurationError):
+            SelfOrganizingMap(4, iterations=0)
+
+    def test_empty_features_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            SelfOrganizingMap(4).fit(np.array([]), rng)
+
+
+class TestSomPositions:
+    def test_positions_inside_area(self, rng):
+        positions = som_positions(
+            rng.uniform(0, 50, size=90), rng, area_side=200.0, iterations=3
+        )
+        assert positions.shape == (90, 2)
+        assert positions.min() >= 0.0
+        assert positions.max() <= 200.0
+
+    def test_similar_values_land_close(self, rng):
+        features = np.sort(rng.uniform(0, 100, size=120))
+        positions = som_positions(features, rng, iterations=8)
+        # Distance between value-adjacent nodes vs value-distant nodes.
+        adjacent = np.linalg.norm(positions[1:] - positions[:-1], axis=1).mean()
+        distant = np.linalg.norm(positions[60:] - positions[:60], axis=1).mean()
+        assert adjacent < distant
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            som_positions(np.array([]), rng)

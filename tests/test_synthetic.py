@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic workload (Sections 5.1.2/5.1.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.errors import ConfigurationError
+from repro.sim.oracle import exact_quantile
+
+
+def make_workload(rng, **kwargs) -> SyntheticWorkload:
+    positions = rng.uniform(0, 200, size=(101, 2))
+    return SyntheticWorkload(positions, rng, **kwargs)
+
+
+class TestSyntheticWorkload:
+    def test_values_inside_universe(self, rng):
+        workload = make_workload(rng, r_min=0, r_max=1023)
+        for t in (0, 10, 100):
+            values = workload.values(t)
+            assert values.min() >= 0
+            assert values.max() <= 1023
+            assert values.dtype == np.int64
+
+    def test_values_deterministic_and_random_access(self, rng):
+        workload = make_workload(rng)
+        a = workload.values(7)
+        b = workload.values(7)
+        workload.values(3)  # access out of order
+        c = workload.values(7)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)
+
+    def test_root_entry_blanked(self, rng):
+        workload = make_workload(rng)
+        assert workload.values(0)[workload.root] == workload.r_min
+
+    def test_sinusoid_moves_the_median(self, rng):
+        workload = make_workload(rng, period=100, noise_percent=0.0)
+        sensors = list(range(1, workload.num_vertices))
+
+        def median(t):
+            return exact_quantile(workload.values(t)[sensors], 50)
+
+        at_zero = median(0)
+        at_quarter = median(25)   # sin peak
+        at_three_quarters = median(75)  # sin trough
+        assert at_quarter > at_zero > at_three_quarters
+
+    def test_period_controls_step_size(self, rng):
+        slow = make_workload(np.random.default_rng(3), period=250, noise_percent=0.0)
+        fast = make_workload(np.random.default_rng(3), period=8, noise_percent=0.0)
+        sensors = list(range(1, slow.num_vertices))
+
+        def max_step(workload):
+            medians = [
+                exact_quantile(workload.values(t)[sensors], 50) for t in range(12)
+            ]
+            return max(abs(b - a) for a, b in zip(medians, medians[1:]))
+
+        assert max_step(fast) > max_step(slow)
+
+    def test_noise_increases_value_volatility(self, rng):
+        quiet = make_workload(np.random.default_rng(4), noise_percent=0.0)
+        noisy = make_workload(np.random.default_rng(4), noise_percent=50.0)
+
+        def volatility(workload):
+            a, b = workload.values(1), workload.values(2)
+            return np.abs(a - b).mean()
+
+        assert volatility(noisy) > volatility(quiet)
+
+    def test_spatial_correlation_of_initial_values(self, rng):
+        positions = np.array(
+            [[0.0, 0.0]] + [[x, 100.0] for x in np.linspace(0, 200, 100)]
+        )
+        workload = SyntheticWorkload(positions, rng, noise_percent=0.0)
+        values = workload.values(0)[1:]
+        neighbour_diff = np.abs(np.diff(values)).mean()
+        shuffled = rng.permutation(values)
+        shuffled_diff = np.abs(np.diff(shuffled)).mean()
+        assert neighbour_diff < shuffled_diff
+
+    def test_invalid_arguments_rejected(self, rng):
+        positions = rng.uniform(0, 200, size=(10, 2))
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(positions, rng, period=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(positions, rng, noise_percent=-1.0)
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(positions, rng, amplitude_percent=-1.0)
+        workload = SyntheticWorkload(positions, rng)
+        with pytest.raises(ConfigurationError):
+            workload.values(-1)
+
+    def test_tight_range_does_not_crash(self, rng):
+        workload = make_workload(rng, r_min=10, r_max=12)
+        values = workload.values(5)
+        assert values.min() >= 10 and values.max() <= 12

@@ -1,0 +1,62 @@
+"""Unit tests for the TAG baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.tag import TAG
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+
+class TestTAG:
+    def spec(self) -> QuerySpec:
+        return QuerySpec(phi=0.5, r_min=0, r_max=100)
+
+    def test_exact_on_static_values(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        outcomes, _ = drive(TAG(self.spec()), small_tree, [values] * 3)
+        assert [o.quantile for o in outcomes] == [30, 30, 30]
+
+    def test_exact_on_random_rounds(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 12, 0, 100)
+        drive(TAG(self.spec()), small_tree, rounds)  # drive() asserts
+
+    def test_exact_on_random_deployment(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 8, 0, 500, drift=2.0)
+        drive(TAG(QuerySpec(r_min=0, r_max=600)), tree, rounds)
+
+    def test_exact_for_extreme_quantiles(self, small_tree, rng):
+        rounds = random_rounds(rng, 8, 5, 0, 100)
+        for phi in (0.0, 0.1, 0.9, 1.0):
+            drive(TAG(QuerySpec(phi=phi, r_min=0, r_max=100)), small_tree, rounds)
+
+    def test_k_pruning_limits_transmitted_values(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        _, net = drive(TAG(self.spec()), small_tree, [values])
+        # k = 3: no vertex ever forwards more than 3 values per round.
+        k = 3
+        for vertex in small_tree.sensor_nodes:
+            assert net.ledger.values_sent[vertex] <= k
+
+    def test_no_pruning_benefit_for_leaves(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        _, net = drive(TAG(self.spec()), small_tree, [values] * 2)
+        for vertex in small_tree.sensor_nodes:
+            if small_tree.is_leaf(vertex):
+                assert net.ledger.values_sent[vertex] == 2  # one per round
+
+    def test_cost_constant_across_rounds(self, small_tree):
+        values = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+        _, net = drive(TAG(self.spec()), small_tree, [values] * 4)
+        history = net.ledger.round_energy_history
+        # Rounds 1.. are identical; round 0 adds the k dissemination.
+        assert np.allclose(history[1], history[2])
+        assert np.allclose(history[2], history[3])
+
+    def test_duplicate_values(self, small_tree):
+        values = np.array([0, 5, 5, 5, 5, 5, 9, 9])
+        outcomes, _ = drive(TAG(self.spec()), small_tree, [values])
+        assert outcomes[0].quantile == 5

@@ -1,0 +1,75 @@
+"""Unit tests for repro.network.topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.network.topology import (
+    PhysicalGraph,
+    build_physical_graph,
+    connected_random_graph,
+)
+
+
+def line_graph(spacing: float, count: int, radio_range: float) -> PhysicalGraph:
+    positions = np.column_stack([np.arange(count) * spacing, np.zeros(count)])
+    return build_physical_graph(positions, radio_range)
+
+
+class TestBuildPhysicalGraph:
+    def test_line_topology_adjacency(self):
+        graph = line_graph(spacing=10.0, count=4, radio_range=15.0)
+        assert graph.neighbors(0) == (1,)
+        assert graph.neighbors(1) == (0, 2)
+        assert graph.neighbors(3) == (2,)
+
+    def test_adjacency_is_symmetric(self, rng):
+        positions = rng.uniform(0, 100, size=(40, 2))
+        graph = build_physical_graph(positions, 30.0)
+        for vertex in range(graph.num_vertices):
+            for neighbor in graph.neighbors(vertex):
+                assert vertex in graph.neighbors(neighbor)
+
+    def test_radio_range_is_inclusive(self):
+        graph = line_graph(spacing=10.0, count=2, radio_range=10.0)
+        assert graph.neighbors(0) == (1,)
+
+    def test_num_vertices(self):
+        assert line_graph(5.0, 7, 6.0).num_vertices == 7
+
+
+class TestConnectivity:
+    def test_connected_line(self):
+        assert line_graph(10.0, 5, 11.0).is_connected()
+
+    def test_disconnected_line(self):
+        assert not line_graph(10.0, 5, 9.0).is_connected()
+
+    def test_reachable_from_partial(self):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [100.0, 0.0]])
+        graph = build_physical_graph(positions, 10.0)
+        assert graph.reachable_from(0) == {0, 1}
+        assert graph.reachable_from(2) == {2}
+
+
+class TestConnectedRandomGraph:
+    def test_produces_connected_graph(self, rng):
+        graph = connected_random_graph(50, radio_range=50.0, rng=rng)
+        assert graph.is_connected()
+        assert graph.num_vertices == 50
+
+    def test_impossible_range_raises(self, rng):
+        with pytest.raises(TopologyError):
+            connected_random_graph(
+                200, radio_range=1.0, rng=rng, max_attempts=3
+            )
+
+    def test_rejects_bad_attempts(self, rng):
+        with pytest.raises(ConfigurationError):
+            connected_random_graph(5, 50.0, rng, max_attempts=0)
+
+    def test_honours_area_side(self, rng):
+        graph = connected_random_graph(30, radio_range=30.0, rng=rng, area_side=50.0)
+        assert graph.positions.max() <= 50.0

@@ -1,0 +1,56 @@
+"""Unit tests for shared value types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import QuerySpec, RoundOutcome, RoundStats
+
+
+class TestQuerySpec:
+    def test_defaults_are_median_over_1024(self):
+        spec = QuerySpec()
+        assert spec.phi == 0.5
+        assert spec.universe_size == 1024
+
+    def test_universe_size(self):
+        assert QuerySpec(r_min=5, r_max=5).universe_size == 1
+        assert QuerySpec(r_min=-10, r_max=10).universe_size == 21
+
+    def test_invalid_phi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuerySpec(phi=-0.1)
+        with pytest.raises(ConfigurationError):
+            QuerySpec(phi=1.1)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuerySpec(r_min=10, r_max=9)
+
+    def test_frozen(self):
+        spec = QuerySpec()
+        with pytest.raises(AttributeError):
+            spec.phi = 0.9  # type: ignore[misc]
+
+
+class TestRoundStats:
+    def make(self, computed: int, truth: int) -> RoundStats:
+        return RoundStats(
+            round_index=0,
+            outcome=RoundOutcome(quantile=computed),
+            true_quantile=truth,
+            max_sensor_energy_j=0.0,
+            total_energy_j=0.0,
+            messages_sent=0,
+            values_sent=0,
+        )
+
+    def test_exactness(self):
+        assert self.make(5, 5).exact
+        assert not self.make(5, 6).exact
+
+    def test_rank_error_value(self):
+        assert self.make(5, 9).rank_error_value == 4
+        assert self.make(9, 5).rank_error_value == 4
+        assert self.make(7, 7).rank_error_value == 0

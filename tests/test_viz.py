@@ -1,0 +1,94 @@
+"""Unit tests for the ASCII visualizations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import IQDiagnostics
+from repro.viz.ascii import render_series, render_xi_trace
+
+
+def diag(quantile, xi_l=-2, xi_r=2, refined=False, low=0, high=100):
+    return IQDiagnostics(
+        quantile=quantile,
+        xi_left=xi_l,
+        xi_right=xi_r,
+        values_in_xi=3,
+        refined=refined,
+        network_min=low,
+        network_max=high,
+    )
+
+
+class TestRenderXiTrace:
+    def test_renders_one_row_per_round(self):
+        rounds = [diag(50), diag(55), diag(60, refined=True)]
+        text = render_xi_trace(rounds)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 3 rounds
+        assert "#" in lines[1]
+        assert "=" in lines[1]
+
+    def test_refinement_marker(self):
+        text = render_xi_trace([diag(50), diag(80, refined=True)])
+        lines = text.splitlines()
+        assert "!" not in lines[1]
+        assert "!" in lines[2]
+
+    def test_quantile_moves_across_columns(self):
+        text = render_xi_trace([diag(10), diag(90)], width=40)
+        lines = text.splitlines()
+        assert lines[1].index("#") < lines[2].index("#")
+
+    def test_band_encloses_quantile(self):
+        text = render_xi_trace([diag(50, xi_l=-20, xi_r=20)], width=40)
+        row = text.splitlines()[1]
+        first_eq, last_eq = row.index("="), row.rindex("=")
+        assert first_eq < row.index("#") < last_eq
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_xi_trace([])
+
+    def test_missing_network_range_rejected(self):
+        bad = IQDiagnostics(
+            quantile=5, xi_left=0, xi_right=0, values_in_xi=0, refined=False
+        )
+        with pytest.raises(ConfigurationError):
+            render_xi_trace([bad])
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_xi_trace([diag(5)], width=4)
+
+
+class TestRenderSeries:
+    def test_contains_legend_and_bounds(self):
+        text = render_series(
+            xs=[1, 2, 3],
+            series={"IQ": [1.0, 2.0, 3.0], "POS": [2.0, 3.0, 4.0]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "A=IQ" in text and "B=POS" in text
+        assert "4" in text  # the max bound appears on the axis
+
+    def test_symbols_plotted(self):
+        text = render_series(xs=[0, 1], series={"X": [0.0, 10.0]})
+        assert text.count("A") >= 2 + 1  # two points + legend entry
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        render_series(xs=[1, 2], series={"X": [5.0, 5.0]})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series(xs=[1, 2], series={"X": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series(xs=[], series={})
+
+    def test_tiny_chart_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series(xs=[1], series={"X": [1.0]}, height=2)

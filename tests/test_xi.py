@@ -1,0 +1,94 @@
+"""Unit tests for IQ's Ξ tracker (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.xi import XiTracker, initial_xi
+from repro.errors import ConfigurationError
+
+
+class TestInitialXi:
+    def test_mean_gap(self):
+        # Values 0..10 step 2: spread 10 over 5 gaps -> mean gap 2, scale 2.
+        assert initial_xi([0, 2, 4, 6, 8, 10], policy="mean_gap", scale=2.0) == 4
+
+    def test_median_gap_robust_to_outlier(self):
+        values = [0, 1, 2, 3, 1000]
+        assert initial_xi(values, policy="median_gap", scale=1.0) == 1
+        # The mean-gap policy is dominated by the outlier.
+        assert initial_xi(values, policy="mean_gap", scale=1.0) == 250
+
+    def test_at_least_one(self):
+        assert initial_xi([5, 5, 5], policy="mean_gap") == 1
+        assert initial_xi([7], policy="median_gap") == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            initial_xi([1, 2], policy="nope")  # type: ignore[arg-type]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            initial_xi([])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            initial_xi([1, 2], scale=0.0)
+
+
+class TestXiTracker:
+    def test_seed_band_before_history(self):
+        tracker = XiTracker(initial_quantile=100, xi_seed=5)
+        assert tracker.xi_left == -5
+        assert tracker.xi_right == 5
+        assert tracker.band() == (95, 105)
+
+    def test_upward_trend_opens_right_side_only(self):
+        tracker = XiTracker(100, xi_seed=3)
+        for quantile in (102, 104, 107):
+            tracker.observe(quantile)
+        assert tracker.xi_left == 0
+        assert tracker.xi_right == 3  # max delta
+        assert tracker.band() == (107, 110)
+
+    def test_downward_trend_opens_left_side_only(self):
+        tracker = XiTracker(100, xi_seed=3)
+        for quantile in (98, 95, 93):
+            tracker.observe(quantile)
+        assert tracker.xi_left == -3  # min delta
+        assert tracker.xi_right == 0
+        assert tracker.band() == (90, 93)
+
+    def test_constant_quantile_collapses_band(self):
+        tracker = XiTracker(100, xi_seed=3)
+        for _ in range(4):
+            tracker.observe(100)
+        assert tracker.band() == (100, 100)
+
+    def test_mixed_trend_opens_both_sides(self):
+        tracker = XiTracker(100, xi_seed=1)
+        for quantile in (104, 98, 101):
+            tracker.observe(quantile)
+        assert tracker.xi_left == -6
+        assert tracker.xi_right == 4
+
+    def test_window_limits_memory(self):
+        tracker = XiTracker(100, xi_seed=1, window=3)
+        tracker.observe(90)   # delta -10
+        tracker.observe(91)   # delta +1
+        tracker.observe(92)   # delta +1; the -10 falls out of the window
+        assert tracker.xi_left == 0
+        assert tracker.xi_right == 1
+
+    def test_invariant_signs(self):
+        tracker = XiTracker(50, xi_seed=2)
+        for quantile in (55, 40, 60, 60, 10, 90):
+            tracker.observe(quantile)
+            assert tracker.xi_left <= 0
+            assert tracker.xi_right >= 0
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XiTracker(0, xi_seed=0)
+        with pytest.raises(ConfigurationError):
+            XiTracker(0, xi_seed=1, window=1)
