@@ -1,0 +1,97 @@
+"""Energy-vs-rank-error frontier: the sketch family against the exact
+algorithms.
+
+The exact algorithms (TAG/HBC/IQ) sit at rank error 0; the sketch family
+(`repro.sketch` + `core/sketchq.py`) trades a bounded rank error
+``eps * |N|`` for energy.  This benchmark sweeps the error budget at a
+fixed deployment of at least 300 nodes (where TAG's full collection is
+already losing) and verifies the two claims the subsystem makes:
+
+* *accuracy* — the measured per-round rank error never exceeds
+  ``eps * |N|``, for every swept ``eps``, for both the one-shot (``SK1``)
+  and the validation-gated (``SKQ``) variant (the q-digest guarantee is
+  deterministic);
+* *energy* — both variants' maximum per-node energy stays strictly below
+  TAG's, and the gated variant gets monotonically cheaper as the budget
+  loosens (the frontier actually slopes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines import TAG
+from repro.core import HBC, IQ
+from repro.experiments.config import sketch_algorithms
+from repro.experiments.runner import run_synthetic_experiment
+
+from benchmarks.common import archive, base_config, bench_scale, run_once
+
+#: Error budgets swept (fraction of |N|).
+EPS_VALUES = (0.02, 0.05, 0.1)
+
+#: TAG must be beaten from this deployment size on.
+MIN_NODES = 300
+
+
+def compute():
+    config = replace(
+        base_config(),
+        num_nodes=max(MIN_NODES, round(2000 * bench_scale())),
+    )
+    lineup = {"TAG": TAG, "HBC": HBC, "IQ": IQ}
+    lineup.update(
+        sketch_algorithms(EPS_VALUES, kind="qdigest", gated=True, one_shot=True)
+    )
+    return config, run_synthetic_experiment(config, lineup)
+
+
+def format_frontier(config, metrics) -> str:
+    budgets = {
+        f"{prefix}@{eps:g}": eps * config.num_nodes
+        for eps in EPS_VALUES
+        for prefix in ("SKQ", "SK1")
+    }
+    lines = [
+        (
+            f"sketch tradeoff — {config.num_nodes} nodes, "
+            f"{config.rounds} rounds x {config.runs} runs — q-digest, "
+            f"budget = eps*|N|"
+        ),
+        f"{'algorithm':10s} {'maxE [mJ]':>10s} {'lifetime':>9s} "
+        f"{'rank-err':>9s} {'max-err':>8s} {'budget':>7s}",
+    ]
+    for name, m in metrics.items():
+        budget = budgets.get(name)
+        lines.append(
+            f"{name:10s} {m.max_energy_mj:10.4f} {m.lifetime_rounds:9.1f} "
+            f"{m.mean_rank_error:9.2f} {m.max_rank_error:8d} "
+            + (f"{budget:7.1f}" if budget is not None else f"{'exact':>7s}")
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_sketch_tradeoff(benchmark):
+    config, metrics = run_once(benchmark, compute)
+    text = format_frontier(config, metrics)
+    print("\n" + text)
+    archive("sketch_tradeoff", text)
+
+    num_nodes = config.num_nodes
+    assert num_nodes >= MIN_NODES
+    tag_energy = metrics["TAG"].max_energy_mj
+
+    for eps in EPS_VALUES:
+        for prefix in ("SKQ", "SK1"):
+            m = metrics[f"{prefix}@{eps:g}"]
+            # Deterministic q-digest guarantee, measured round by round.
+            assert m.max_rank_error <= eps * num_nodes, (prefix, eps)
+            # The sketch convergecast must beat TAG's full collection.
+            assert m.max_energy_mj < tag_energy, (prefix, eps)
+            # Exact algorithms answer exactly; sketches are flagged.
+            assert not m.all_exact or m.mean_rank_error == 0.0
+
+    # The frontier slopes: a looser budget must not cost more energy
+    # (gated variant — where the budget drives the refresh rate).
+    gated = [metrics[f"SKQ@{eps:g}"].max_energy_mj for eps in EPS_VALUES]
+    assert gated[-1] < gated[0]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Approximate quantiles: trading bounded rank error for radio energy.
+
+Two parts:
+
+1. The mergeable sketches on their own — build q-digests from raw value
+   sets, merge them in arbitrary order (as a convergecast would) and
+   compare the answer and its honest payload size against the truth.
+2. The continuous SketchQuantile algorithm on a simulated deployment —
+   the exact TAG baseline against the sketch convergecast at several
+   error budgets eps, showing measured rank error <= eps * |N| while the
+   hotspot node's energy bill shrinks.
+"""
+
+import numpy as np
+
+from repro import (
+    QDigest,
+    QuerySpec,
+    SimulationRunner,
+    SketchQuantile,
+    SyntheticWorkload,
+    TAG,
+    build_routing_tree,
+    connected_random_graph,
+    exact_quantile,
+)
+
+
+def sketch_basics() -> None:
+    rng = np.random.default_rng(2014)
+    readings = [rng.integers(0, 1024, size=500) for _ in range(4)]
+
+    # Each region summarizes its own readings; eps bounds the rank error.
+    digests = [
+        QDigest.from_values(chunk, eps=0.05, r_min=0, r_max=1023)
+        for chunk in readings
+    ]
+    merged = digests[0]
+    for digest in digests[1:]:
+        merged = merged.merged(digest)
+
+    everything = np.concatenate(readings)
+    k = len(everything) // 2
+    truth = exact_quantile(everything, k)
+    answer = merged.quantile(k)
+    raw_bits = len(everything) * 16
+
+    print("-- mergeable q-digest --")
+    print(f"median of {len(everything)} readings: exact {truth}, "
+          f"sketch {answer} (budget +-{0.05 * len(everything):.0f} ranks)")
+    print(f"payload: {merged.payload_bits()} bits vs {raw_bits} bits raw "
+          f"({merged.num_entries()} stored entries)")
+    print()
+
+
+def continuous_tracking() -> None:
+    rng = np.random.default_rng(2014)
+    graph = connected_random_graph(301, radio_range=35.0, rng=rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(graph.positions, rng)
+    spec = QuerySpec(phi=0.5, r_min=workload.r_min, r_max=workload.r_max)
+    runner = SimulationRunner(tree, radio_range=35.0)
+
+    print("-- continuous tracking, 300 nodes x 40 rounds --")
+    print(f"{'algorithm':10s} {'uJ/round':>9s} {'mean-err':>9s} "
+          f"{'max-err':>8s} {'budget':>7s}")
+
+    result = runner.run(TAG(spec), workload.values, num_rounds=40)
+    print(f"{'TAG':10s} {result.max_mean_round_energy_j * 1e6:9.1f} "
+          f"{result.mean_rank_error:9.2f} {result.max_rank_error:8d} "
+          f"{'exact':>7s}")
+
+    for eps in (0.02, 0.05, 0.1):
+        algorithm = SketchQuantile(spec, eps=eps, gated=True)
+        result = runner.run(algorithm, workload.values, num_rounds=40)
+        print(f"{algorithm.name + f'@{eps:g}':10s} "
+              f"{result.max_mean_round_energy_j * 1e6:9.1f} "
+              f"{result.mean_rank_error:9.2f} {result.max_rank_error:8d} "
+              f"{eps * tree.num_sensor_nodes:7.1f}")
+
+
+if __name__ == "__main__":
+    sketch_basics()
+    continuous_tracking()

@@ -30,6 +30,7 @@ from repro.core import (
     HBC,
     IQ,
     ContinuousQuantileAlgorithm,
+    SketchQuantile,
     exact_optimal_buckets,
     optimal_buckets,
 )
@@ -45,6 +46,7 @@ from repro.network import build_physical_graph, build_routing_tree
 from repro.network.topology import connected_random_graph
 from repro.radio import EnergyLedger, EnergyModel
 from repro.sim import SimulationRunner, TreeNetwork, exact_quantile, quantile_rank
+from repro.sketch import KLLSketch, QDigest, SketchPayload
 from repro.types import QuerySpec, RoundOutcome
 
 __version__ = "1.0.0"
@@ -61,12 +63,16 @@ __all__ = [
     "EnergyError",
     "EnergyLedger",
     "EnergyModel",
+    "KLLSketch",
     "PressureWorkload",
     "ProtocolError",
+    "QDigest",
     "QuerySpec",
     "ReproError",
     "RoundOutcome",
     "SimulationRunner",
+    "SketchPayload",
+    "SketchQuantile",
     "SyntheticWorkload",
     "TopologyError",
     "TreeNetwork",

@@ -7,6 +7,8 @@ Subcommands:
 * ``pressure``— the air-pressure sampling-rate sweep (Figure 10).
 * ``xi-trace``— IQ's Ξ trace (Figure 4) as a text chart.
 * ``loss``    — the message-loss rank-error study (future work, Section 6).
+* ``sketch``  — approximate quantiles: the energy-vs-rank-error sweep over
+  the sketch family's error budget ε (``repro.sketch``).
 * ``report``  — regenerate the whole evaluation as one markdown document.
 
 Examples::
@@ -16,6 +18,7 @@ Examples::
     python -m repro pressure --pessimistic
     python -m repro xi-trace --rounds 125
     python -m repro loss --rates 0 0.05 0.1
+    python -m repro sketch --eps 0.02 0.05 0.1
 """
 
 from __future__ import annotations
@@ -34,9 +37,14 @@ from repro.extensions.loss import run_loss_experiment
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Continuous quantile queries in WSNs (EDBT 2014 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -76,6 +84,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loss.add_argument("--nodes", type=int, default=100)
     loss.add_argument("--rounds", type=int, default=60)
+
+    sketch = sub.add_parser(
+        "sketch", help="approximate quantiles: energy vs rank error over eps"
+    )
+    sketch.add_argument(
+        "--eps", type=float, nargs="+", default=[0.02, 0.05, 0.1],
+        help="rank-error budgets to sweep (fraction of |N|)",
+    )
+    sketch.add_argument(
+        "--kind", choices=("qdigest", "kll"), default="qdigest"
+    )
+    sketch.add_argument(
+        "--one-shot", action="store_true",
+        help="also run the ungated one-sketch-per-round variant",
+    )
+    sketch.add_argument("--nodes", type=int, default=150)
+    sketch.add_argument("--rounds", type=int, default=40)
+    sketch.add_argument("--runs", type=int, default=2)
+    sketch.add_argument("--range", type=float, default=35.0, dest="radio_range")
+    sketch.add_argument("--phi", type=float, default=0.5)
+    sketch.add_argument("--seed", type=int, default=20140324)
 
     report = sub.add_parser(
         "report", help="regenerate the paper's full evaluation as markdown"
@@ -154,6 +183,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"band-contains-next-quantile ratio: "
             f"{trace.band_contains_next_quantile_ratio:.3f}"
+        )
+        return 0
+
+    if command == "sketch":
+        from repro.baselines import TAG
+        from repro.core import HBC, IQ
+        from repro.experiments.config import sketch_algorithms
+
+        config = ExperimentConfig(
+            num_nodes=args.nodes,
+            rounds=args.rounds,
+            runs=args.runs,
+            radio_range=args.radio_range,
+            phi=args.phi,
+            seed=args.seed,
+        )
+        lineup = {"TAG": TAG, "HBC": HBC, "IQ": IQ}
+        lineup.update(
+            sketch_algorithms(
+                tuple(args.eps),
+                kind=args.kind,
+                gated=True,
+                one_shot=args.one_shot,
+            )
+        )
+        metrics = run_synthetic_experiment(config, lineup)
+        print(
+            format_comparison(
+                metrics,
+                title=(
+                    f"approximate quantiles ({args.kind}): "
+                    f"{config.num_nodes} nodes, {config.rounds} rounds x "
+                    f"{config.runs} runs — rank-err is mean rank distance, "
+                    f"budget eps*|N|"
+                ),
+            )
         )
         return 0
 

@@ -8,6 +8,7 @@ from repro.core.cost_model import (
 )
 from repro.core.hbc import HBC
 from repro.core.iq import IQ
+from repro.core.sketchq import SketchQuantile
 from repro.core.xi import XiTracker
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "IQ",
     "ContinuousQuantileAlgorithm",
     "RootCounters",
+    "SketchQuantile",
     "XiTracker",
     "exact_optimal_buckets",
     "optimal_buckets",

@@ -204,6 +204,11 @@ class ContinuousQuantileAlgorithm(ABC):
     #: Short identifier used in result tables ("TAG", "POS", "HBC", ...).
     name: str = "?"
 
+    #: Whether every round's answer must equal the centralized oracle.
+    #: Approximate algorithms (the sketch family) set this to False; the
+    #: runner then records their rank error instead of asserting equality.
+    exact: bool = True
+
     def __init__(self, spec: QuerySpec) -> None:
         self.spec = spec
         self.current_quantile: int | None = None

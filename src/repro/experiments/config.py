@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.baselines import LCLLHierarchical, LCLLSlip, POS, TAG
 from repro.constants import (
@@ -45,6 +45,37 @@ PAPER_ALGORITHMS: dict[str, AlgorithmFactory] = {
 def default_algorithms() -> dict[str, AlgorithmFactory]:
     """A fresh copy of the paper's algorithm line-up."""
     return dict(PAPER_ALGORITHMS)
+
+
+def sketch_algorithms(
+    eps_values: Sequence[float] = (0.02, 0.05, 0.1),
+    kind: str = "qdigest",
+    gated: bool = True,
+    one_shot: bool = False,
+) -> dict[str, AlgorithmFactory]:
+    """Sketch-based approximate algorithms, one per error budget.
+
+    Names carry the budget (``SKQ@0.05`` for the validation-gated variant,
+    ``SK1@0.05`` for the one-shot-per-round convergecast) so mixed line-ups
+    with the exact algorithms stay readable in result tables.
+    """
+    from repro.core.sketchq import SketchQuantile
+
+    def factory(eps: float, gated_mode: bool) -> AlgorithmFactory:
+        def build(spec: QuerySpec) -> ContinuousQuantileAlgorithm:
+            algorithm = SketchQuantile(spec, eps=eps, kind=kind, gated=gated_mode)
+            algorithm.name = f"{'SKQ' if gated_mode else 'SK1'}@{eps:g}"
+            return algorithm
+
+        return build
+
+    lineup: dict[str, AlgorithmFactory] = {}
+    for eps in eps_values:
+        if gated:
+            lineup[f"SKQ@{eps:g}"] = factory(eps, True)
+        if one_shot:
+            lineup[f"SK1@{eps:g}"] = factory(eps, False)
+    return lineup
 
 
 def scale_factor() -> float:

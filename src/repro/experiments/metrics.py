@@ -34,6 +34,10 @@ class AggregateMetrics:
     #: Mean tree traversals per round — the latency indicator of [15].
     exchanges_per_round: float
     all_exact: bool
+    #: Rank-error indicators for the approximate (sketch) algorithms; both
+    #: are identically 0 for the paper's exact algorithms.
+    mean_rank_error: float = 0.0
+    max_rank_error: int = 0
 
 
 def aggregate_runs(results: Sequence[RunResult]) -> AggregateMetrics:
@@ -82,4 +86,8 @@ def aggregate_runs(results: Sequence[RunResult]) -> AggregateMetrics:
         values_per_round=float(values.mean()),
         exchanges_per_round=float(exchanges.mean()),
         all_exact=all(r.all_exact for r in results),
+        mean_rank_error=float(
+            np.mean([r.mean_rank_error for r in results])
+        ),
+        max_rank_error=max(r.max_rank_error for r in results),
     )

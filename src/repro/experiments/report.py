@@ -17,6 +17,8 @@ METRICS: dict[str, MetricGetter] = {
     "messages_per_round": lambda m: m.messages_per_round,
     "values_per_round": lambda m: m.values_per_round,
     "exchanges_per_round": lambda m: m.exchanges_per_round,
+    "mean_rank_error": lambda m: m.mean_rank_error,
+    "max_rank_error": lambda m: float(m.max_rank_error),
 }
 
 
@@ -62,13 +64,13 @@ def format_comparison(
     lines.append(
         f"{'algorithm':10s} {'maxE [mJ]':>12s} {'lifetime':>10s} "
         f"{'refin/rnd':>10s} {'msgs/rnd':>10s} {'vals/rnd':>10s} "
-        f"{'exch/rnd':>9s} {'exact':>6s}"
+        f"{'exch/rnd':>9s} {'rank-err':>9s} {'exact':>6s}"
     )
     for name, m in metrics.items():
         lines.append(
             f"{name:10s} {m.max_energy_mj:12.4f} {m.lifetime_rounds:10.1f} "
             f"{m.refinements_per_round:10.2f} {m.messages_per_round:10.1f} "
             f"{m.values_per_round:10.1f} {m.exchanges_per_round:9.2f} "
-            f"{str(m.all_exact):>6s}"
+            f"{m.mean_rank_error:9.2f} {str(m.all_exact):>6s}"
         )
     return "\n".join(lines)

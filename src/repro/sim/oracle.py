@@ -49,6 +49,20 @@ def rank_of_value(values: np.ndarray, value: int) -> tuple[int, int, int]:
     return less, equal, values.size - less - equal
 
 
+def rank_error(values: np.ndarray, value: int, k: int) -> int:
+    """How far ``value`` is from being the k-th smallest, in ranks.
+
+    ``value`` occupies the rank positions ``[l + 1, l + e]`` of the sorted
+    vector (an absent value, ``e == 0``, sits between positions ``l`` and
+    ``l + 1``).  The error is the distance from ``k`` to that interval —
+    ``0`` iff :func:`is_valid_quantile` holds.  This is the accuracy metric
+    of the approximate (sketch-based) algorithms: a q-digest answer is
+    guaranteed ``rank_error <= eps * n``.
+    """
+    less, equal, _ = rank_of_value(values, value)
+    return max(0, less + 1 - k, k - less - equal)
+
+
 def is_valid_quantile(values: np.ndarray, value: int, k: int) -> bool:
     """True iff ``value`` is the k-th smallest of ``values``.
 

@@ -18,7 +18,7 @@ from repro.network.tree import RoutingTree
 from repro.radio.energy import EnergyModel
 from repro.radio.ledger import EnergyLedger, TrafficCounters
 from repro.sim.engine import TreeNetwork
-from repro.sim.oracle import exact_quantile, quantile_rank
+from repro.sim.oracle import exact_quantile, quantile_rank, rank_error
 from repro.types import RoundStats
 
 if TYPE_CHECKING:  # imported lazily to avoid a core <-> sim import cycle
@@ -64,6 +64,16 @@ class RunResult:
     def all_exact(self) -> bool:
         """True when every round matched the centralized oracle."""
         return all(record.exact for record in self.rounds)
+
+    @property
+    def mean_rank_error(self) -> float:
+        """Mean per-round rank error (0 for exact algorithms)."""
+        return sum(r.rank_error for r in self.rounds) / len(self.rounds)
+
+    @property
+    def max_rank_error(self) -> int:
+        """Worst per-round rank error over the run."""
+        return max(r.rank_error for r in self.rounds)
 
 
 class SimulationRunner:
@@ -120,7 +130,7 @@ class SimulationRunner:
 
             sensor_values = values[list(self.tree.sensor_nodes)]
             truth = exact_quantile(sensor_values, k)
-            if self.check and outcome.quantile != truth:
+            if self.check and algorithm.exact and outcome.quantile != truth:
                 raise ProtocolError(
                     f"{algorithm.name} round {round_index}: computed "
                     f"{outcome.quantile} but the exact quantile is {truth}"
@@ -138,6 +148,7 @@ class SimulationRunner:
                     messages_sent=total_messages - previous_messages,
                     values_sent=total_values - previous_values_sent,
                     exchanges=net.exchanges - previous_exchanges,
+                    rank_error=rank_error(sensor_values, outcome.quantile, k),
                 )
             )
             previous_messages, previous_values_sent = total_messages, total_values

@@ -1,0 +1,244 @@
+"""KLL: a compactor-based mergeable quantile sketch (Karnin, Lang, Liberty
+— "Optimal Quantile Approximation in Streams", FOCS 2016; cf. SNIPPETS.md
+snippet 3).
+
+A sketch is a stack of *compactors*.  Level ``h`` holds items of weight
+``2^h``; when a level overflows its capacity the items are sorted and every
+other one is promoted to the next level (doubling its weight), halving the
+stored count.  Capacities decay geometrically from the top level (factor
+``2/3``), which is what gives the near-optimal ``O((1/eps) *
+sqrt(log(1/eps)))`` space bound.
+
+Unlike the q-digest the rank guarantee is *probabilistic* (the compaction
+coin decides whether even- or odd-indexed items survive).  Randomness here
+is fully deterministic: the coin is a pure integer hash of ``(seed, level,
+compaction counter)`` — no wall-clock state, so simulations are exactly
+reproducible and two sketches built from the same stream are identical.
+
+All operations are pure (``merged`` returns a new sketch), matching the
+engine's :class:`~repro.sim.engine.Payload` purity requirement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.constants import COUNTER_BITS, VALUE_BITS
+from repro.errors import ConfigurationError, ProtocolError
+
+#: Geometric capacity decay per level below the top.
+_DECAY = 2.0 / 3.0
+
+#: Bits spent per level declaring its item count in the serialized form.
+_LEVEL_HEADER_BITS = 8
+
+
+def _coin(seed: int, level: int, compaction: int) -> int:
+    """Deterministic fair-ish coin: splitmix64 of the compaction identity."""
+    z = (seed ^ (level * 0x9E3779B97F4A7C15) ^ (compaction * 0xBF58476D1CE4E5B9)) & (
+        2**64 - 1
+    )
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & (2**64 - 1)
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & (2**64 - 1)
+    return (z ^ (z >> 31)) & 1
+
+
+def capacity(level: int, num_levels: int, k: int) -> int:
+    """Target capacity of ``level`` (0 = weight-1 level) in an ``num_levels``
+    stack topped by a ``k``-capacity compactor; never below 2."""
+    return max(2, int(math.ceil(k * _DECAY ** (num_levels - 1 - level))))
+
+
+@dataclass(frozen=True)
+class KLLSketch:
+    """An immutable KLL sketch of an integer multiset.
+
+    Attributes:
+        compactors: per-level sorted item tuples; level ``h`` items weigh
+            ``2^h``.
+        n: total number of summarized measurements.
+        k: top-compactor capacity (space/accuracy knob).
+        seed: deterministic randomness seed.
+        compactions: compactions performed so far (drives the coin).
+    """
+
+    compactors: tuple[tuple[int, ...], ...]
+    n: int
+    k: int
+    seed: int
+    compactions: int = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, k: int, seed: int = 0) -> "KLLSketch":
+        """A sketch of zero measurements."""
+        if k < 2:
+            raise ConfigurationError(f"k must be >= 2, got {k}")
+        return cls(compactors=((),), n=0, k=k, seed=seed)
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[int], k: int, seed: int = 0
+    ) -> "KLLSketch":
+        """Summarize an integer multiset."""
+        sketch = cls.empty(k, seed)
+        items = tuple(sorted(int(v) for v in values))
+        if not items:
+            return sketch
+        return _compacted(
+            compactors=(items,),
+            n=len(items),
+            k=k,
+            seed=seed,
+            compactions=0,
+        )
+
+    @classmethod
+    def k_for_eps(cls, eps: float) -> int:
+        """A practical capacity for a target rank error of ``eps * n``.
+
+        KLL's guarantee is probabilistic; ``k = ceil(2 / eps)`` keeps the
+        observed error comfortably below ``eps * n`` on the workloads in
+        this package (the property tests pin it down empirically).
+        """
+        if not 0.0 < eps < 1.0:
+            raise ConfigurationError(f"eps must be in (0, 1), got {eps}")
+        return max(8, math.ceil(2.0 / eps))
+
+    # -- merge ----------------------------------------------------------------
+
+    def merged(self, other: "KLLSketch") -> "KLLSketch":
+        """Union of the two summarized multisets, recompacted as needed."""
+        if self.k != other.k:
+            raise ProtocolError(
+                f"cannot merge KLL sketches with k={self.k} and k={other.k}"
+            )
+        height = max(len(self.compactors), len(other.compactors))
+        combined = []
+        for level in range(height):
+            mine = self.compactors[level] if level < len(self.compactors) else ()
+            theirs = (
+                other.compactors[level] if level < len(other.compactors) else ()
+            )
+            combined.append(tuple(sorted(mine + theirs)))
+        return _compacted(
+            compactors=tuple(combined),
+            n=self.n + other.n,
+            k=self.k,
+            # Deterministic and symmetric, so merge order cannot change the
+            # coin sequence of subsequent compactions.
+            seed=min(self.seed, other.seed),
+            compactions=self.compactions + other.compactions,
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def rank(self, x: int) -> int:
+        """Estimated ``#{values < x}``."""
+        total = 0
+        for level, items in enumerate(self.compactors):
+            weight = 1 << level
+            total += weight * sum(1 for item in items if item < x)
+        return total
+
+    def rank_bounds(self, x: int) -> tuple[int, int]:
+        """Point estimate as a degenerate interval.
+
+        KLL has no deterministic bounds; callers that need sound intervals
+        (the validation-gated algorithm) get a best-effort estimate and a
+        probabilistic guarantee instead.
+        """
+        r = self.rank(x)
+        return r, r
+
+    def quantile(self, k: int) -> int:
+        """An approximation of the ``k``-th smallest summarized value."""
+        if not 1 <= k <= self.n:
+            raise ConfigurationError(f"rank {k} out of range for {self.n} values")
+        weighted = sorted(
+            (item, 1 << level)
+            for level, items in enumerate(self.compactors)
+            for item in items
+        )
+        cumulative = 0
+        for item, weight in weighted:
+            cumulative += weight
+            if cumulative >= k:
+                return item
+        return weighted[-1][0]
+
+    def quantile_phi(self, phi: float) -> int:
+        """The ``phi``-quantile under the paper's rank convention."""
+        return self.quantile(max(1, int(math.floor(phi * self.n))))
+
+    # -- accounting -----------------------------------------------------------
+
+    def payload_bits(self) -> int:
+        """Honest serialized size: header, per-level counts, raw items."""
+        items = self.num_entries()
+        if items == 0:
+            return 0
+        return (
+            COUNTER_BITS  # total count n
+            + len(self.compactors) * _LEVEL_HEADER_BITS
+            + items * VALUE_BITS
+        )
+
+    def num_entries(self) -> int:
+        """Stored items across all levels."""
+        return sum(len(items) for items in self.compactors)
+
+    @property
+    def total_weight(self) -> int:
+        """Summed item weights; always equals ``n``."""
+        return sum(
+            (1 << level) * len(items)
+            for level, items in enumerate(self.compactors)
+        )
+
+
+def _compacted(
+    compactors: tuple[tuple[int, ...], ...],
+    n: int,
+    k: int,
+    seed: int,
+    compactions: int,
+) -> KLLSketch:
+    """Compact overflowing levels until every level fits its capacity."""
+    levels = [list(items) for items in compactors]
+    while True:
+        height = len(levels)
+        overflowing = next(
+            (
+                h
+                for h in range(height)
+                if len(levels[h]) > capacity(h, height, k)
+            ),
+            None,
+        )
+        if overflowing is None:
+            break
+        h = overflowing
+        items = sorted(levels[h])
+        # Compact an even prefix so total weight is preserved exactly
+        # (2 * |promoted| * 2^h == |compacted| * 2^h); an odd straggler
+        # stays at its level.
+        even = len(items) - (len(items) & 1)
+        offset = _coin(seed, h, compactions)
+        compactions += 1
+        promoted = items[offset:even:2]
+        levels[h] = items[even:]
+        if h + 1 == len(levels):
+            levels.append([])
+        levels[h + 1].extend(promoted)
+        levels[h + 1].sort()
+    return KLLSketch(
+        compactors=tuple(tuple(sorted(items)) for items in levels),
+        n=n,
+        k=k,
+        seed=seed,
+        compactions=compactions,
+    )

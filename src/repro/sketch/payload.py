@@ -1,0 +1,69 @@
+"""Adapter putting quantile sketches on the air as engine payloads.
+
+:class:`SketchPayload` implements the engine's pure
+:class:`~repro.sim.engine.Payload` contract, so sketches convergecast
+TAG-style: every sensor contributes a one-value sketch of its measurement,
+intermediate vertices merge (and thereby recompress) sketches in-network,
+and the root receives one sketch summarizing the whole round.
+
+Any object with ``merged(other)``, ``payload_bits()``, ``num_entries()``
+and an ``n`` attribute qualifies as a sketch — both
+:class:`~repro.sketch.qdigest.QDigest` and
+:class:`~repro.sketch.kll.KLLSketch` do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ProtocolError
+from repro.sim.engine import Payload
+
+
+@runtime_checkable
+class QuantileSketch(Protocol):
+    """Structural interface every mergeable quantile sketch implements."""
+
+    n: int
+
+    def merged(self, other: "QuantileSketch") -> "QuantileSketch": ...
+
+    def payload_bits(self) -> int: ...
+
+    def num_entries(self) -> int: ...
+
+    def quantile(self, k: int) -> int: ...
+
+    def rank_bounds(self, x: int) -> tuple[int, int]: ...
+
+
+@dataclass(frozen=True)
+class SketchPayload(Payload):
+    """One sketch travelling up the tree.
+
+    Merging two payloads merges the wrapped sketches; the on-air size is
+    whatever the sketch's own honest serialization reports.  ``num_values``
+    reports stored entries, feeding the transmitted-values statistic with
+    the sketch's actual (compressed) freight rather than the raw count it
+    summarizes.
+    """
+
+    sketch: QuantileSketch
+
+    def merged_with(self, other: "SketchPayload") -> "SketchPayload":
+        if type(self.sketch) is not type(other.sketch):
+            raise ProtocolError(
+                f"cannot merge {type(self.sketch).__name__} with "
+                f"{type(other.sketch).__name__}"
+            )
+        return SketchPayload(sketch=self.sketch.merged(other.sketch))
+
+    def payload_bits(self) -> int:
+        return self.sketch.payload_bits()
+
+    def num_values(self) -> int:
+        return self.sketch.num_entries()
+
+    def is_empty(self) -> bool:
+        return self.sketch.n == 0

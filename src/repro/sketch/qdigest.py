@@ -1,0 +1,298 @@
+"""Q-digest: a deterministic mergeable quantile sketch over a bounded
+integer universe (Shrivastava, Buragohain, Agrawal, Suri — "Medians and
+Beyond: New Aggregation Techniques for Sensor Networks", SenSys 2004).
+
+The digest stores counts on nodes of the complete binary tree whose leaves
+are the universe values (heap numbering: root ``1``, children ``2i`` /
+``2i+1``, leaves ``2^L .. 2^(L+1)-1``).  A count stored on an internal node
+means "this many measurements fell *somewhere* in this node's value range" —
+that positional ambiguity is the whole error of the sketch.
+
+Compression parameter ``kappa = ceil(L / eps)`` (``L`` = tree depth) bounds
+the ambiguity:
+
+* *invariant* — every internal node's count is at most ``floor(n / kappa)``.
+  It holds after construction and is preserved by :meth:`merged` because
+  floor division is superadditive (``n1//kappa + n2//kappa <=
+  (n1+n2)//kappa``) and compression only creates parent counts that satisfy
+  the bound.
+* *consequence* — any query boundary is straddled only by the (at most
+  ``L``) internal ancestors of one leaf, so the rank uncertainty is at most
+  ``L * n / kappa <= eps * n``.  This holds for **any** merge tree, which is
+  exactly what a sensor-network convergecast needs.
+
+All operations are pure: :meth:`merged` returns a new digest and never
+mutates either operand (the engine merges payloads in arbitrary order).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.constants import COUNTER_BITS
+from repro.errors import ConfigurationError, ProtocolError
+
+#: Bits spent declaring the per-entry count width in the serialized header.
+_COUNT_WIDTH_BITS = 5
+
+
+@dataclass(frozen=True)
+class QDigest:
+    """An immutable q-digest over the integer universe ``[r_min, r_max]``.
+
+    Attributes:
+        entries: sorted ``(node_id, count)`` pairs, heap-numbered.
+        n: total number of summarized measurements.
+        eps: the rank-error guarantee (error ``<= eps * n``).
+        r_min / r_max: inclusive universe bounds.
+    """
+
+    entries: tuple[tuple[int, int], ...]
+    n: int
+    eps: float
+    r_min: int
+    r_max: int
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, eps: float, r_min: int, r_max: int) -> "QDigest":
+        """A digest of zero measurements."""
+        _validate_params(eps, r_min, r_max)
+        return cls(entries=(), n=0, eps=eps, r_min=r_min, r_max=r_max)
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[int], eps: float, r_min: int, r_max: int
+    ) -> "QDigest":
+        """Summarize an integer multiset (leaf counts, then compress)."""
+        _validate_params(eps, r_min, r_max)
+        levels = _levels(r_min, r_max)
+        leaf_base = 1 << levels
+        counts: dict[int, int] = {}
+        n = 0
+        for value in values:
+            value = int(value)
+            if not r_min <= value <= r_max:
+                raise ConfigurationError(
+                    f"value {value} outside universe [{r_min}, {r_max}]"
+                )
+            counts[leaf_base + (value - r_min)] = (
+                counts.get(leaf_base + (value - r_min), 0) + 1
+            )
+            n += 1
+        counts = _compress(counts, n, _kappa(eps, levels), levels)
+        return cls(
+            entries=tuple(sorted(counts.items())),
+            n=n,
+            eps=eps,
+            r_min=r_min,
+            r_max=r_max,
+        )
+
+    # -- merge ----------------------------------------------------------------
+
+    def merged(self, other: "QDigest") -> "QDigest":
+        """Union of the two summarized multisets, recompressed.
+
+        The result still guarantees rank error ``<= eps * (n1 + n2)``; see
+        the module docstring for why the invariant survives addition.
+        """
+        if (self.eps, self.r_min, self.r_max) != (
+            other.eps,
+            other.r_min,
+            other.r_max,
+        ):
+            raise ProtocolError(
+                "cannot merge q-digests with different eps or universe"
+            )
+        counts = dict(self.entries)
+        for node, count in other.entries:
+            counts[node] = counts.get(node, 0) + count
+        n = self.n + other.n
+        counts = _compress(counts, n, _kappa(self.eps, self.levels), self.levels)
+        return QDigest(
+            entries=tuple(sorted(counts.items())),
+            n=n,
+            eps=self.eps,
+            r_min=self.r_min,
+            r_max=self.r_max,
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def rank_bounds(self, x: int) -> tuple[int, int]:
+        """Sound bounds ``(lo, hi)`` on ``#{values < x}``.
+
+        ``hi - lo`` is the ambiguity at the boundary, at most ``eps * n``.
+        """
+        if x <= self.r_min:
+            return 0, 0
+        if x > self.r_max:
+            return self.n, self.n
+        boundary = x - self.r_min  # leaf index split
+        lo = hi = 0
+        for node, count in self.entries:
+            a, b = self._node_range(node)
+            # Padding leaves beyond the universe never hold measurements, so
+            # a range reaching into the padding effectively ends at r_max.
+            b = min(b, self.universe_size - 1)
+            if b < boundary:
+                lo += count
+                hi += count
+            elif a < boundary:
+                hi += count
+        return lo, hi
+
+    def quantile(self, k: int) -> int:
+        """An approximation of the ``k``-th smallest summarized value.
+
+        The returned value's true rank differs from ``k`` by at most
+        ``eps * n``.  Stored nodes are scanned in ascending order of their
+        range maximum (deeper nodes first on ties) and the range maximum of
+        the node reaching cumulative count ``k`` is reported.
+        """
+        if not 1 <= k <= self.n:
+            raise ConfigurationError(f"rank {k} out of range for {self.n} values")
+        ordered = sorted(
+            self.entries, key=lambda item: (self._node_range(item[0])[1], item[0])
+        )
+        cumulative = 0
+        result = self.r_min
+        for node, count in ordered:
+            cumulative += count
+            result = self.r_min + self._node_range(node)[1]
+            if cumulative >= k:
+                break
+        return min(result, self.r_max)
+
+    def quantile_phi(self, phi: float) -> int:
+        """The ``phi``-quantile under the paper's rank convention."""
+        return self.quantile(max(1, int(math.floor(phi * self.n))))
+
+    # -- accounting -----------------------------------------------------------
+
+    def payload_bits(self) -> int:
+        """Honest serialized size in bits.
+
+        Two encodings, the smaller wins (mirroring the histogram payload's
+        dense/sparse choice):
+
+        * *sparse* — header (total count + declared count width) followed by
+          ``(node_id, count)`` pairs; ids take ``L + 1`` bits, counts the
+          declared width.
+        * *leaf list* — when every entry is an uncompressed leaf, the values
+          themselves as ``L``-bit leaf indices, duplicates repeated.
+        """
+        if not self.entries:
+            return 0
+        id_bits = self.levels + 1
+        count_bits = max(
+            count for _, count in self.entries
+        ).bit_length()
+        header = COUNTER_BITS + _COUNT_WIDTH_BITS
+        sparse = header + len(self.entries) * (id_bits + count_bits)
+        leaf_base = 1 << self.levels
+        if all(node >= leaf_base for node, _ in self.entries):
+            leaf_list = COUNTER_BITS + self.n * self.levels
+            return min(sparse, leaf_list)
+        return sparse
+
+    def num_entries(self) -> int:
+        """Stored ``(node, count)`` pairs."""
+        return len(self.entries)
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def levels(self) -> int:
+        """Depth ``L`` of the universe tree (leaves sit at depth ``L``)."""
+        return _levels(self.r_min, self.r_max)
+
+    @property
+    def universe_size(self) -> int:
+        """Number of representable values."""
+        return self.r_max - self.r_min + 1
+
+    @property
+    def kappa(self) -> int:
+        """The compression parameter ``ceil(L / eps)``."""
+        return _kappa(self.eps, self.levels)
+
+    def internal_counts_bounded(self) -> bool:
+        """True when every internal node respects the ``n // kappa`` bound.
+
+        This is the soundness invariant behind the deterministic error
+        guarantee; tests assert it after arbitrary merge trees.
+        """
+        leaf_base = 1 << self.levels
+        bound = self.n // self.kappa
+        return all(
+            count <= bound for node, count in self.entries if node < leaf_base
+        )
+
+    def _node_range(self, node: int) -> tuple[int, int]:
+        """Inclusive leaf-index range ``[a, b]`` covered by ``node``."""
+        depth = node.bit_length() - 1
+        span = 1 << (self.levels - depth)
+        first = (node - (1 << depth)) * span
+        return first, first + span - 1
+
+
+def _validate_params(eps: float, r_min: int, r_max: int) -> None:
+    if not 0.0 < eps < 1.0:
+        raise ConfigurationError(f"eps must be in (0, 1), got {eps}")
+    if r_min > r_max:
+        raise ConfigurationError(f"empty universe [{r_min}, {r_max}]")
+
+
+def _levels(r_min: int, r_max: int) -> int:
+    """Tree depth: the universe padded to the next power of two, at least 2."""
+    return max(1, (r_max - r_min).bit_length())
+
+
+def _kappa(eps: float, levels: int) -> int:
+    return max(1, math.ceil(levels / eps))
+
+
+def _compress(
+    counts: dict[int, int], n: int, kappa: int, levels: int
+) -> dict[int, int]:
+    """Canonical bottom-up compression with threshold ``floor(n / kappa)``.
+
+    A sibling pair (plus its parent's existing count) is folded into the
+    parent whenever the three counts sum to at most the threshold, so every
+    count the compression *creates* on an internal node respects the
+    invariant.  Zero-threshold digests (``n < kappa``) stay lossless sparse
+    histograms — the regime in which merging is exactly associative.
+    """
+    counts = {node: count for node, count in counts.items() if count}
+    threshold = n // kappa
+    if threshold < 1:
+        return counts
+    for depth in range(levels, 0, -1):
+        low, high = 1 << depth, 1 << (depth + 1)
+        level_nodes = sorted(
+            node for node in counts if low <= node < high
+        )
+        seen: set[int] = set()
+        for node in level_nodes:
+            left = node & ~1
+            if left in seen:
+                continue
+            seen.add(left)
+            sibling = left | 1
+            parent = left >> 1
+            total = (
+                counts.get(left, 0)
+                + counts.get(sibling, 0)
+                + counts.get(parent, 0)
+            )
+            if total <= threshold:
+                counts.pop(left, None)
+                counts.pop(sibling, None)
+                if total:
+                    counts[parent] = total
+    return counts

@@ -70,6 +70,10 @@ class RoundStats:
     #: costs one tree depth of TDMA slots, so this is the round's latency
     #: in traversal units (cf. the time complexity analysis of [15]).
     exchanges: int = 0
+    #: Rank distance between the reported and the true quantile — 0 for
+    #: exact algorithms, at most ``eps * |N|`` for the sketch family
+    #: (see :func:`repro.sim.oracle.rank_error`).
+    rank_error: int = 0
 
     @property
     def exact(self) -> bool:

@@ -12,6 +12,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_sketch_defaults(self):
+        args = build_parser().parse_args(["sketch"])
+        assert args.command == "sketch"
+        assert args.eps == [0.02, 0.05, 0.1]
+        assert args.kind == "qdigest"
+
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
         assert args.command == "run"
@@ -68,6 +82,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "rank-err" in out
         assert "TAG" in out
+
+    def test_sketch_prints_comparison(self, capsys):
+        code = main(
+            ["sketch", "--eps", "0.1", "--nodes", "50", "--rounds", "10",
+             "--runs", "1", "--range", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SKQ@0.1" in out and "TAG" in out
+        assert "rank-err" in out
 
     def test_pressure_prints_table(self, capsys, monkeypatch):
         code = main(["pressure", "--scale", "0.05"])

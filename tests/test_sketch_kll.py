@@ -1,0 +1,119 @@
+"""Tests for the KLL sketch (repro/sketch/kll.py).
+
+KLL's rank guarantee is probabilistic, but this implementation's coin is a
+pure hash of ``(seed, level, compaction counter)`` — so every test here is
+fully deterministic and the "probabilistic" accuracy checks cannot flake.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.oracle import rank_error
+from repro.sketch import KLLSketch
+
+multisets = st.lists(st.integers(0, 1000), min_size=1, max_size=300)
+
+
+class TestKLLProperties:
+    @given(multisets, st.integers(4, 64), st.integers(0, 2**32))
+    def test_same_stream_same_seed_identical(self, values, k, seed):
+        a = KLLSketch.from_values(values, k=k, seed=seed)
+        b = KLLSketch.from_values(values, k=k, seed=seed)
+        assert a == b
+
+    @given(multisets, st.integers(4, 64))
+    def test_total_weight_equals_n(self, values, k):
+        sketch = KLLSketch.from_values(values, k=k, seed=7)
+        assert sketch.n == len(values)
+        assert sketch.total_weight == len(values)
+
+    @settings(deadline=None)
+    @given(multisets, st.integers(4, 64), st.data())
+    def test_merge_preserves_weight_and_items(self, values, k, data):
+        """Fold per-value sketches in an arbitrary order: no weight is ever
+        created or destroyed, and every stored item came from the input."""
+        pool = [
+            KLLSketch.from_values((v,), k=k, seed=i)
+            for i, v in enumerate(values)
+        ]
+        while len(pool) > 1:
+            i = data.draw(st.integers(0, len(pool) - 2))
+            left = pool.pop(i)
+            right = pool.pop(i)
+            pool.insert(
+                data.draw(st.integers(0, len(pool))), left.merged(right)
+            )
+        merged = pool[0]
+        assert merged.n == len(values)
+        assert merged.total_weight == len(values)
+        stored = {
+            item for items in merged.compactors for item in items
+        }
+        assert stored <= set(values)
+        assert min(values) <= merged.quantile_phi(0.5) <= max(values)
+
+    @given(multisets, st.integers(8, 64))
+    def test_quantile_monotone_in_rank(self, values, k):
+        sketch = KLLSketch.from_values(values, k=k, seed=3)
+        n = sketch.n
+        ranks = sorted({1, max(1, n // 3), max(1, 2 * n // 3), n})
+        answers = [sketch.quantile(r) for r in ranks]
+        assert answers == sorted(answers)
+
+    @pytest.mark.parametrize("eps", [0.05, 0.1, 0.2])
+    @pytest.mark.parametrize("dist", ["uniform", "normal", "clustered"])
+    def test_rank_error_within_budget_on_seeded_data(self, eps, dist):
+        """Deterministic accuracy check: with ``k_for_eps`` the observed
+        rank error stays within ``eps * n`` on representative workloads
+        (the coin is a pure hash, so this can never flake)."""
+        rng = np.random.default_rng(20140324)
+        n = 2000
+        if dist == "uniform":
+            values = rng.integers(0, 1024, size=n)
+        elif dist == "normal":
+            values = np.clip(rng.normal(512, 80, size=n), 0, 1023).astype(int)
+        else:
+            values = np.concatenate(
+                [rng.integers(0, 50, size=n // 2),
+                 rng.integers(900, 1024, size=n - n // 2)]
+            )
+        k = KLLSketch.k_for_eps(eps)
+        sketch = KLLSketch.from_values(values.tolist(), k=k, seed=1)
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
+            rank = max(1, int(np.floor(phi * n)))
+            assert rank_error(values, sketch.quantile(rank), rank) <= eps * n
+
+    def test_payload_bits_honest(self):
+        empty = KLLSketch.empty(k=16, seed=0)
+        assert empty.payload_bits() == 0
+        sketch = KLLSketch.from_values(range(100), k=16, seed=0)
+        assert sketch.payload_bits() > 0
+        assert sketch.num_entries() < 100  # compaction actually happened
+
+
+class TestKLLValidation:
+    def test_rejects_tiny_k(self):
+        with pytest.raises(ConfigurationError):
+            KLLSketch.empty(k=1)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            KLLSketch.k_for_eps(0.0)
+
+    def test_rejects_mismatched_k_merge(self):
+        a = KLLSketch.from_values([1], k=8, seed=0)
+        b = KLLSketch.from_values([1], k=16, seed=0)
+        with pytest.raises(ProtocolError):
+            a.merged(b)
+
+    def test_quantile_rank_out_of_range(self):
+        sketch = KLLSketch.from_values([1, 2, 3], k=8, seed=0)
+        with pytest.raises(ConfigurationError):
+            sketch.quantile(0)
+        with pytest.raises(ConfigurationError):
+            sketch.quantile(4)

@@ -1,0 +1,157 @@
+"""Tests for the SketchQuantile continuous algorithm (core/sketchq.py).
+
+Both operating modes are driven over a real routing tree with the helpers'
+``drive`` (check disabled — the algorithm is approximate by design) and the
+answers are compared against the oracle: the *measured* rank error must
+stay within ``eps * |N|`` every round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sketchq import SketchQuantile
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.oracle import exact_quantile, quantile_rank, rank_error
+from repro.sketch import QDigest, SketchPayload
+from repro.types import QuerySpec
+
+from tests.helpers import drive, random_rounds
+
+
+def assert_within_budget(algorithm, tree, rounds):
+    """Drive the algorithm and assert the per-round rank-error guarantee."""
+    outcomes, net = drive(algorithm, tree, rounds, check=False)
+    sensors = list(tree.sensor_nodes)
+    k = quantile_rank(tree.num_sensor_nodes, algorithm.spec.phi)
+    budget = algorithm.eps * tree.num_sensor_nodes
+    for index, (outcome, values) in enumerate(zip(outcomes, rounds)):
+        error = rank_error(np.asarray(values)[sensors], outcome.quantile, k)
+        assert error <= budget, (
+            f"round {index}: rank error {error} > budget {budget}"
+        )
+    return outcomes, net
+
+
+class TestOneShot:
+    def test_not_exact_flagged(self):
+        assert SketchQuantile.exact is False
+        assert SketchQuantile(QuerySpec()).name == "SKQ"
+        assert SketchQuantile(QuerySpec(), gated=False).name == "SK1"
+
+    @pytest.mark.parametrize("kind", ["qdigest", "kll"])
+    def test_error_within_budget(self, random_deployment, rng, kind):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 12, 0, 1023, drift=4.0)
+        algorithm = SketchQuantile(
+            QuerySpec(), eps=0.1, kind=kind, gated=False
+        )
+        assert_within_budget(algorithm, tree, rounds)
+
+    def test_tiny_eps_is_exact_regime(self, small_tree, rng):
+        """With ``eps`` small enough that ``n < kappa`` the q-digest is a
+        lossless histogram — the one-shot answer must equal the oracle's."""
+        rounds = random_rounds(rng, small_tree.num_vertices, 6, 0, 1023)
+        algorithm = SketchQuantile(QuerySpec(), eps=0.02, gated=False)
+        outcomes, _ = drive(algorithm, small_tree, rounds, check=False)
+        sensors = list(small_tree.sensor_nodes)
+        k = quantile_rank(small_tree.num_sensor_nodes, 0.5)
+        for outcome, values in zip(outcomes, rounds):
+            assert outcome.quantile == exact_quantile(
+                np.asarray(values)[sensors], k
+            )
+
+
+class TestGated:
+    def test_error_within_budget_under_drift(self, random_deployment, rng):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 20, 0, 1023, drift=6.0)
+        algorithm = SketchQuantile(QuerySpec(), eps=0.1, gated=True)
+        outcomes, _ = assert_within_budget(algorithm, tree, rounds)
+        # Initialization anchors the filter; later rounds may refresh.
+        assert outcomes[0].filter_broadcast
+
+    def test_gate_actually_skips_refreshes(self, random_deployment, rng):
+        """On a stable distribution the gated variant must answer most
+        rounds from the cached filter (no refinement) — that is the whole
+        point of gating."""
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 15, 0, 1023, drift=0.0)
+        algorithm = SketchQuantile(QuerySpec(), eps=0.1, gated=True)
+        outcomes, _ = assert_within_budget(algorithm, tree, rounds)
+        refreshes = sum(outcome.refinements for outcome in outcomes[1:])
+        assert refreshes < (len(rounds) - 1) / 2
+
+    def test_gated_costs_less_than_one_shot_when_stable(
+        self, random_deployment, rng
+    ):
+        _, tree = random_deployment
+        rounds = random_rounds(rng, tree.num_vertices, 15, 0, 1023, drift=0.0)
+        _, net_gated = assert_within_budget(
+            SketchQuantile(QuerySpec(), eps=0.1, gated=True), tree, rounds
+        )
+        _, net_one_shot = assert_within_budget(
+            SketchQuantile(QuerySpec(), eps=0.1, gated=False), tree, rounds
+        )
+        gated_energy = net_gated.ledger.max_sensor_energy()
+        one_shot_energy = net_one_shot.ledger.max_sensor_energy()
+        assert gated_energy < one_shot_energy
+
+    def test_update_before_initialize_raises(self, small_net):
+        algorithm = SketchQuantile(QuerySpec(), gated=True)
+        with pytest.raises(ProtocolError):
+            algorithm.update(small_net, np.zeros(8, dtype=np.int64))
+
+
+class TestPayload:
+    def test_merge_is_pure(self):
+        a = SketchPayload(QDigest.from_values([1, 2], 0.1, 0, 1023))
+        b = SketchPayload(QDigest.from_values([3], 0.1, 0, 1023))
+        merged = a.merged_with(b)
+        assert merged.sketch.n == 3
+        assert a.sketch.n == 2 and b.sketch.n == 1  # operands untouched
+        assert not merged.is_empty()
+        assert merged.payload_bits() > 0
+        assert merged.num_values() == merged.sketch.num_entries()
+
+    def test_rejects_mixed_sketch_types(self):
+        from repro.sketch import KLLSketch
+
+        a = SketchPayload(QDigest.from_values([1], 0.1, 0, 1023))
+        b = SketchPayload(KLLSketch.from_values([1], k=8))
+        with pytest.raises(ProtocolError):
+            a.merged_with(b)
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=40), st.data())
+    def test_payload_merge_any_order_keeps_guarantee(self, values, data):
+        eps = 0.1
+        pool = [
+            SketchPayload(QDigest.from_values((v,), eps, 0, 1023))
+            for v in values
+        ]
+        while len(pool) > 1:
+            i = data.draw(st.integers(0, len(pool) - 2))
+            left = pool.pop(i)
+            right = pool.pop(i)
+            pool.insert(
+                data.draw(st.integers(0, len(pool))),
+                left.merged_with(right),
+            )
+        sketch = pool[0].sketch
+        n = len(values)
+        k = max(1, n // 2)
+        assert rank_error(np.asarray(values), sketch.quantile(k), k) <= eps * n
+
+
+class TestValidation:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            SketchQuantile(QuerySpec(), eps=0.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            SketchQuantile(QuerySpec(), kind="tdigest")
