@@ -289,6 +289,14 @@ class LCLLSlip(ContinuousQuantileAlgorithm):
         self._state = new_state
 
         refinements = 0
+        # With exact counters the window moves monotonically toward rank k,
+        # so no refinement ever needs more slips than there are window tiles
+        # across the universe.  Message loss can corrupt the boundary
+        # counters into a state no window satisfies (the window oscillates
+        # or runs off the universe); the budget turns that into a protocol
+        # failure the fault-recovery layer can handle by re-initializing.
+        span = self.spec.r_max - self.spec.r_min + 1
+        max_slips = -(-span // self.window_cells) + 2
         while True:
             inside = sum(self._cells)
             if self._below < k <= self._below + inside:
@@ -297,6 +305,12 @@ class LCLLSlip(ContinuousQuantileAlgorithm):
                 quantile = self._window_low + cell
                 self.current_quantile = quantile
                 return RoundOutcome(quantile=quantile, refinements=refinements)
+            if refinements >= max_slips:
+                raise ProtocolError(
+                    f"window failed to converge on rank {k} after "
+                    f"{refinements} slips — boundary counters are "
+                    "inconsistent (lost messages?)"
+                )
             if k <= self._below:
                 self._slip(net, values, leftward=True)
             else:

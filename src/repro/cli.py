@@ -7,6 +7,9 @@ Subcommands:
 * ``pressure``— the air-pressure sampling-rate sweep (Figure 10).
 * ``xi-trace``— IQ's Ξ trace (Figure 4) as a text chart.
 * ``loss``    — the message-loss rank-error study (future work, Section 6).
+* ``faults``  — the full fault-injection study: loss x retry-budget matrix
+  over every algorithm (exact + sketch), with optional burst loss and node
+  churn, per-hop ARQ and the root watchdog (``repro.faults``).
 * ``sketch``  — approximate quantiles: the energy-vs-rank-error sweep over
   the sketch family's error budget ε (``repro.sketch``).
 * ``report``  — regenerate the whole evaluation as one markdown document.
@@ -18,6 +21,8 @@ Examples::
     python -m repro pressure --pessimistic
     python -m repro xi-trace --rounds 125
     python -m repro loss --rates 0 0.05 0.1
+    python -m repro faults --loss 0.05 --retries 2
+    python -m repro faults --loss 0.05 0.1 --retries 0 2 --burst 8 --churn 0.01
     python -m repro sketch --eps 0.02 0.05 0.1
 """
 
@@ -84,6 +89,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loss.add_argument("--nodes", type=int, default=100)
     loss.add_argument("--rounds", type=int, default=60)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault injection: loss x ARQ retries over all algorithms",
+    )
+    faults.add_argument(
+        "--loss", type=float, nargs="+", default=[0.0, 0.05, 0.1],
+        help="link loss rates to sweep",
+    )
+    faults.add_argument(
+        "--retries", type=int, nargs="+", default=[0, 2],
+        help="per-hop ARQ retry budgets to sweep (0 disables ARQ)",
+    )
+    faults.add_argument(
+        "--burst", type=float, default=None, metavar="LEN",
+        help="use Gilbert-Elliott burst loss with this mean burst length "
+        "(default: i.i.d. loss)",
+    )
+    faults.add_argument(
+        "--churn", type=float, default=0.0,
+        help="per-round probability of each live sensor dying permanently",
+    )
+    faults.add_argument("--nodes", type=int, default=100)
+    faults.add_argument("--rounds", type=int, default=60)
+    faults.add_argument("--range", type=float, default=35.0, dest="radio_range")
+    faults.add_argument(
+        "--patience", type=int, default=2,
+        help="suspicious full collections before the watchdog re-initializes",
+    )
+    faults.add_argument(
+        "--sketch-eps", type=float, default=0.05,
+        help="error budget for the SKQ/SK1 entries in the lineup",
+    )
+    faults.add_argument("--seed", type=int, default=20140324)
 
     sketch = sub.add_parser(
         "sketch", help="approximate quantiles: energy vs rank error over eps"
@@ -232,6 +271,38 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"report written to {args.out}")
         else:
             print(result.markdown)
+        return 0
+
+    if command == "faults":
+        from repro.experiments.report import format_fault_table
+        from repro.faults import fault_lineup, run_fault_experiment
+
+        result = run_fault_experiment(
+            fault_lineup(sketch_eps=args.sketch_eps),
+            loss_rates=tuple(args.loss),
+            retry_budgets=tuple(args.retries),
+            churn_rate=args.churn,
+            burst_length=args.burst,
+            num_nodes=args.nodes,
+            num_rounds=args.rounds,
+            radio_range=args.radio_range,
+            seed=args.seed,
+            watchdog_patience=args.patience,
+        )
+        loss_kind = (
+            f"Gilbert-Elliott bursts (mean length {args.burst:g})"
+            if args.burst is not None
+            else "i.i.d. loss"
+        )
+        print(
+            format_fault_table(
+                result,
+                title=(
+                    f"fault injection: {args.nodes} nodes, {args.rounds} "
+                    f"rounds, {loss_kind}, churn={args.churn:g}/round"
+                ),
+            )
+        )
         return 0
 
     if command == "loss":

@@ -51,6 +51,12 @@ BUCKET_ID_BITS: int = 8
 #: plus a small request descriptor.
 REFINEMENT_REQUEST_BITS: int = 2 * VALUE_BITS + 8
 
+#: On-air size of a link-layer acknowledgement frame [bits].  Mirrors the
+#: IEEE 802.15.4 immediate-ack frame (5 bytes: 2 frame control, 1 sequence
+#: number, 2 FCS) — far smaller than a data frame header, which is what
+#: makes per-hop ARQ affordable at all.
+ACK_FRAME_BITS: int = 5 * 8
+
 #: Number of two-byte measurements that fit into a single maximum payload.
 VALUES_PER_MESSAGE: int = MAX_PAYLOAD_BITS // VALUE_BITS
 

@@ -101,7 +101,7 @@ class SketchQuantile(ContinuousQuantileAlgorithm):
         net.phase = "initialization"
         net.broadcast(VALUE_BITS)  # query dissemination: phi and eps
         sketch = self._collect(net, values)
-        quantile = sketch.quantile(k)
+        quantile = sketch.quantile(min(k, sketch.n))
         self.current_quantile = quantile
         if not self.gated:
             return RoundOutcome(quantile=quantile)
@@ -112,7 +112,7 @@ class SketchQuantile(ContinuousQuantileAlgorithm):
         k = self.rank(net)
         if not self.gated:
             sketch = self._collect(net, values)
-            quantile = sketch.quantile(k)
+            quantile = sketch.quantile(min(k, sketch.n))
             self.current_quantile = quantile
             return RoundOutcome(quantile=quantile)
 
@@ -147,7 +147,7 @@ class SketchQuantile(ContinuousQuantileAlgorithm):
         net.phase = "refinement"
         net.broadcast(REFINEMENT_REQUEST_BITS)
         sketch = self._collect(net, values)
-        quantile = sketch.quantile(k)
+        quantile = sketch.quantile(min(k, sketch.n))
         self._adopt(net, values, sketch, quantile)
         self.current_quantile = quantile
         return RoundOutcome(
@@ -197,12 +197,22 @@ class SketchQuantile(ContinuousQuantileAlgorithm):
         sketch: QuantileSketch,
         quantile: int,
     ) -> None:
-        """Broadcast the new filter and re-anchor the rank bounds."""
+        """Broadcast the new filter and re-anchor the rank bounds.
+
+        When the sketch saw fewer values than the network holds (message
+        loss or churn eating subtrees), each missing value could lie on
+        either side of the filter, so the upper bounds widen by the missing
+        count.  The bounds stay *sound* for the full population — a lossy
+        collection narrows the gate's head-room instead of poisoning it.
+        """
         net.phase = "filter"
         net.broadcast(VALUE_BITS)
         self._filter = quantile
-        self._l_bounds = sketch.rank_bounds(quantile)
-        self._le_bounds = sketch.rank_bounds(quantile + 1)
+        l_lo, l_hi = sketch.rank_bounds(quantile)
+        le_lo, le_hi = sketch.rank_bounds(quantile + 1)
+        missing = max(0, net.num_sensor_nodes - sketch.n)
+        self._l_bounds = (l_lo, l_hi + missing)
+        self._le_bounds = (le_lo, le_hi + missing)
         if self._mask is None:
             self._mask = sensor_mask(net)
         self._state = classify_array(values, quantile, None, self._mask)

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.experiments.metrics import AggregateMetrics
 from repro.experiments.sweeps import SweepResult
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-init cycle
+    from repro.faults.experiment import FaultExperimentResult
 
 #: Extracts the plotted quantity from one aggregated point.
 MetricGetter = Callable[[AggregateMetrics], float]
@@ -51,6 +54,38 @@ def format_sweep_table(
             f"{getter(point):.{precision}f}".rjust(col_width) for point in points
         )
         lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)
+
+
+def format_fault_table(
+    result: "FaultExperimentResult", title: str | None = None
+) -> str:
+    """Render the fault study: survival + accuracy columns per cell.
+
+    Rows are (algorithm, loss rate, retry budget) cells, grouped by
+    algorithm — the output of ``repro faults`` and
+    ``benchmarks/bench_faults.py``.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'algorithm':10s} {'loss':>6s} {'retry':>6s} {'exact':>7s} "
+        f"{'rank-err':>9s} {'val-err':>8s} {'reinit':>7s} {'fail':>6s} "
+        f"{'cover':>6s} {'hotE [mJ]':>10s} {'lost':>6s} {'retx':>6s} "
+        f"{'alive':>6s}"
+    )
+    algorithms = list(dict.fromkeys(p.algorithm for p in result.points))
+    for name in algorithms:
+        for p in result.series(name):
+            lines.append(
+                f"{p.algorithm:10s} {p.loss_rate:6.2f} {p.retries:6d} "
+                f"{p.exact_fraction:7.2f} {p.mean_rank_error:9.2f} "
+                f"{p.mean_value_error:8.2f} {p.reinit_count:7d} "
+                f"{p.failure_rate:6.2f} {p.delivered_fraction:6.2f} "
+                f"{p.hotspot_energy_mj:10.4f} {p.lost_transmissions:6d} "
+                f"{p.retransmissions:6d} {p.survivors:6d}"
+            )
     return "\n".join(lines)
 
 

@@ -1,223 +1,23 @@
-"""Message loss and the resulting rank error (the future work of Section 6).
+"""Message loss (Section 6 'future work' direction) — compatibility shim.
 
-The paper closes with: "During future research we would like to address the
-problem of message loss.  If messages get lost, a rank error is introduced
-and it would be interesting to analyze the behaviour of different
-approaches under loss."  This module performs that analysis.
-
-:class:`LossyTreeNetwork` drops each convergecast transmission with an
-independent probability (the sender still pays transmit energy; the parent,
-listening on schedule, still pays receive energy but gets nothing usable).
-Downstream traffic (broadcasts) stays reliable — root-to-leaves flooding is
-usually protected by redundancy in practice, and keeping it reliable
-isolates the interesting failure mode: the root's rank counters drifting
-away from reality.
-
-:func:`run_loss_experiment` then measures, per algorithm and loss rate:
-
-* the fraction of rounds whose answer was still exactly right,
-* the mean *rank error* (how many positions the reported value's true rank
-  is away from k) and mean absolute value error,
-* the protocol-failure rate — rounds where the drifted state made the
-  algorithm throw (e.g. negative counters) and the query had to be
-  re-initialized, which is itself an important cost of loss.
+The loss study grew into the full fault-injection and recovery subsystem at
+:mod:`repro.faults` (burst loss, node churn, per-hop ARQ, root watchdog,
+all algorithms including the sketch track).  This module keeps the original
+import surface alive; new code should import from ``repro.faults``.
 """
 
-from __future__ import annotations
+from repro.faults.experiment import (
+    LossExperimentResult,
+    LossSeriesPoint,
+    insertion_rank_error as _rank_error,
+    run_loss_experiment,
+)
+from repro.faults.network import LossyTreeNetwork
 
-from dataclasses import dataclass
-from typing import Mapping, Optional
-
-import numpy as np
-
-from repro.errors import ConfigurationError, ReproError
-from repro.experiments.config import AlgorithmFactory
-from repro.network.routing import build_routing_tree
-from repro.network.topology import connected_random_graph
-from repro.network.tree import RoutingTree
-from repro.radio.energy import EnergyModel
-from repro.radio.ledger import EnergyLedger
-from repro.radio.message import message_bits
-from repro.sim.engine import P, TreeNetwork
-from repro.sim.oracle import exact_quantile, quantile_rank
-from repro.datasets.synthetic import SyntheticWorkload
-from repro.types import QuerySpec
-
-
-class LossyTreeNetwork(TreeNetwork):
-    """A tree network whose child-to-parent transmissions can be lost."""
-
-    def __init__(
-        self,
-        tree: RoutingTree,
-        ledger: EnergyLedger,
-        loss_probability: float,
-        rng: np.random.Generator,
-    ) -> None:
-        super().__init__(tree, ledger)
-        if not 0.0 <= loss_probability < 1.0:
-            raise ConfigurationError(
-                f"loss_probability must be in [0, 1), got {loss_probability}"
-            )
-        self.loss_probability = loss_probability
-        self._rng = rng
-        self.lost_transmissions = 0
-
-    def convergecast(self, contributions: Mapping[int, P]) -> Optional[P]:
-        """Like the reliable version, but each hop may drop the payload."""
-        tree = self.tree
-        self.exchanges += 1
-        accumulated: dict[int, P] = {}
-        for vertex, payload in contributions.items():
-            if payload.is_empty():
-                continue
-            accumulated[vertex] = payload
-
-        for vertex in tree.bottom_up_order:
-            if vertex == tree.root:
-                continue
-            merged = accumulated.get(vertex)
-            if merged is None:
-                continue
-            cost = message_bits(merged.payload_bits())
-            self.ledger.charge_send(
-                vertex,
-                cost,
-                values=merged.num_values(),
-                link_distance=tree.link_distance[vertex],
-            )
-            parent = tree.parent[vertex]
-            self.ledger.charge_recv(parent, cost)
-            if self._rng.random() < self.loss_probability:
-                self.lost_transmissions += 1
-                continue  # the frame is gone; the parent merges nothing
-            existing = accumulated.get(parent)
-            accumulated[parent] = (
-                merged if existing is None else existing.merged_with(merged)
-            )
-        return accumulated.get(tree.root)
-
-
-@dataclass
-class LossSeriesPoint:
-    """Per-(algorithm, loss-rate) outcome of the study."""
-
-    algorithm: str
-    loss_probability: float
-    exact_fraction: float
-    mean_rank_error: float
-    mean_value_error: float
-    failure_rate: float
-
-
-@dataclass
-class LossExperimentResult:
-    """All series of the loss study, keyed by algorithm name."""
-
-    points: list[LossSeriesPoint]
-
-    def series(self, algorithm: str) -> list[LossSeriesPoint]:
-        """The loss sweep of one algorithm, ordered by loss rate."""
-        selected = [p for p in self.points if p.algorithm == algorithm]
-        return sorted(selected, key=lambda p: p.loss_probability)
-
-
-def run_loss_experiment(
-    algorithms: dict[str, AlgorithmFactory],
-    loss_probabilities: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.2),
-    num_nodes: int = 100,
-    num_rounds: int = 60,
-    radio_range: float = 35.0,
-    seed: int = 20140324,
-) -> LossExperimentResult:
-    """Measure rank errors of each algorithm under message loss.
-
-    A protocol error (drifted counters, impossible indices) counts as a
-    failed round: the previous answer is reused and the algorithm is
-    re-initialized on the next round, modelling a periodic re-sync.
-    """
-    points: list[LossSeriesPoint] = []
-    for loss in loss_probabilities:
-        for name, factory in algorithms.items():
-            rng = np.random.default_rng((seed, int(loss * 1000)))
-            graph = connected_random_graph(num_nodes + 1, radio_range, rng)
-            tree = build_routing_tree(graph, root=0)
-            workload = SyntheticWorkload(graph.positions, rng)
-            spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
-            points.append(
-                _run_one(
-                    name, factory, spec, tree, workload, loss, num_rounds,
-                    radio_range, rng,
-                )
-            )
-    return LossExperimentResult(points=points)
-
-
-def _run_one(
-    name: str,
-    factory: AlgorithmFactory,
-    spec: QuerySpec,
-    tree: RoutingTree,
-    workload: SyntheticWorkload,
-    loss: float,
-    num_rounds: int,
-    radio_range: float,
-    rng: np.random.Generator,
-) -> LossSeriesPoint:
-    ledger = EnergyLedger(tree.num_vertices, tree.root, EnergyModel(), radio_range)
-    net = LossyTreeNetwork(tree, ledger, loss, rng)
-    sensors = list(tree.sensor_nodes)
-    k = quantile_rank(tree.num_sensor_nodes, spec.phi)
-
-    algorithm = factory(spec)
-    needs_init = True
-    last_answer: int | None = None
-    exact = failures = 0
-    rank_errors: list[int] = []
-    value_errors: list[int] = []
-
-    for round_index in range(num_rounds):
-        values = workload.values(round_index)
-        try:
-            if needs_init:
-                outcome = algorithm.initialize(net, values)
-                needs_init = False
-            else:
-                outcome = algorithm.update(net, values)
-            last_answer = outcome.quantile
-        except ReproError:
-            failures += 1
-            algorithm = factory(spec)  # re-sync from scratch next round
-            needs_init = True
-
-        sensor_values = values[sensors]
-        truth = exact_quantile(sensor_values, k)
-        answer = last_answer if last_answer is not None else truth
-        exact += int(answer == truth)
-        value_errors.append(abs(answer - truth))
-        rank_errors.append(_rank_error(sensor_values, answer, k))
-
-    return LossSeriesPoint(
-        algorithm=name,
-        loss_probability=loss,
-        exact_fraction=exact / num_rounds,
-        mean_rank_error=float(np.mean(rank_errors)),
-        mean_value_error=float(np.mean(value_errors)),
-        failure_rate=failures / num_rounds,
-    )
-
-
-def _rank_error(sensor_values: np.ndarray, answer: int, k: int) -> int:
-    """Distance between k and the closest true rank the answer occupies.
-
-    If the reported value does not occur in the network at all, the error is
-    measured against the rank it *would* take if inserted.
-    """
-    less = int((sensor_values < answer).sum())
-    equal = int((sensor_values == answer).sum())
-    low_rank, high_rank = less + 1, max(less + equal, less + 1)
-    if low_rank <= k <= high_rank:
-        return 0
-    if k < low_rank:
-        return low_rank - k
-    return k - high_rank
+__all__ = [
+    "LossExperimentResult",
+    "LossSeriesPoint",
+    "LossyTreeNetwork",
+    "run_loss_experiment",
+    "_rank_error",
+]

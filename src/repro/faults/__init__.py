@@ -1,0 +1,54 @@
+"""Fault injection and recovery: lossy links, node churn, ARQ, watchdog.
+
+This package is the single seam through which *every* algorithm (exact and
+sketch) runs under injected faults: :class:`FaultyTreeNetwork` plugs a
+:class:`FaultPlan` into the engine's fault hooks, :class:`ArqPolicy` adds
+per-hop acknowledgements with a bounded retry budget, and
+:class:`RootWatchdog` turns persistently silent subtrees into measured
+re-initializations.  ``run_fault_experiment`` sweeps all of it; the old
+``extensions.loss`` API remains as a thin view.
+"""
+
+from repro.faults.experiment import (
+    FaultExperimentResult,
+    FaultSeriesPoint,
+    LossExperimentResult,
+    LossSeriesPoint,
+    fault_lineup,
+    insertion_rank_error,
+    run_fault_experiment,
+    run_loss_experiment,
+)
+from repro.faults.network import ArqPolicy, FaultyTreeNetwork, LossyTreeNetwork
+from repro.faults.plan import (
+    ChurnModel,
+    FaultPlan,
+    GilbertElliottLoss,
+    IndependentLoss,
+    LinkLossModel,
+    RandomChurn,
+    ScheduledChurn,
+)
+from repro.faults.watchdog import RootWatchdog
+
+__all__ = [
+    "ArqPolicy",
+    "ChurnModel",
+    "FaultExperimentResult",
+    "FaultPlan",
+    "FaultSeriesPoint",
+    "FaultyTreeNetwork",
+    "GilbertElliottLoss",
+    "IndependentLoss",
+    "LinkLossModel",
+    "LossExperimentResult",
+    "LossSeriesPoint",
+    "LossyTreeNetwork",
+    "RandomChurn",
+    "RootWatchdog",
+    "ScheduledChurn",
+    "fault_lineup",
+    "insertion_rank_error",
+    "run_fault_experiment",
+    "run_loss_experiment",
+]

@@ -1,0 +1,371 @@
+"""The fault study: accuracy, recovery and energy under injected faults.
+
+This generalizes the old ``extensions/loss.py`` experiment (which covered
+only the exact algorithms under i.i.d. convergecast loss) along three axes:
+
+* **algorithms** — every algorithm runs, including the sketch track
+  (``SK1``/``SKQ``), whose rank bounds widen gracefully when subtrees go
+  missing instead of silently pretending full coverage;
+* **faults** — i.i.d. loss, Gilbert–Elliott burst loss and permanent node
+  churn, all through one :class:`~repro.faults.plan.FaultPlan`;
+* **recovery** — per-hop ARQ (:class:`~repro.faults.network.ArqPolicy`)
+  with energy charged per attempt, and a root-side
+  :class:`~repro.faults.watchdog.RootWatchdog` that turns protocol
+  breakdowns and silent subtrees into *measured* re-initializations (the
+  TAG re-init broadcast + convergecast is charged to the ledger in the
+  round it happens) instead of unhandled exceptions.
+
+Per (algorithm, loss rate, retry budget) cell the study reports the
+exact-answer fraction, mean rank/value error against the *live* population,
+protocol-failure and re-initialization counts, full-collection delivery
+coverage, and the hotspot (max per-node mean round) energy — the columns
+``repro faults`` and ``benchmarks/bench_faults.py`` print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.errors import ProtocolError
+from repro.experiments.config import AlgorithmFactory, sketch_algorithms
+from repro.faults.network import ArqPolicy, FaultyTreeNetwork
+from repro.faults.plan import (
+    FaultPlan,
+    GilbertElliottLoss,
+    IndependentLoss,
+    LinkLossModel,
+    RandomChurn,
+)
+from repro.faults.watchdog import RootWatchdog
+from repro.network.routing import build_routing_tree
+from repro.network.topology import connected_random_graph
+from repro.network.tree import RoutingTree
+from repro.radio.energy import EnergyModel
+from repro.radio.ledger import EnergyLedger
+from repro.sim.oracle import exact_quantile, quantile_rank
+from repro.types import QuerySpec
+
+
+def insertion_rank_error(sensor_values: np.ndarray, answer: int, k: int) -> int:
+    """Distance between k and the closest true rank the answer occupies.
+
+    If the reported value does not occur in the network at all, the error is
+    measured against the rank it *would* take if inserted.
+    """
+    less = int((sensor_values < answer).sum())
+    equal = int((sensor_values == answer).sum())
+    low_rank, high_rank = less + 1, max(less + equal, less + 1)
+    if low_rank <= k <= high_rank:
+        return 0
+    if k < low_rank:
+        return low_rank - k
+    return k - high_rank
+
+
+def fault_lineup(sketch_eps: float = 0.05) -> dict[str, AlgorithmFactory]:
+    """All exact algorithms plus both sketch variants at one error budget."""
+    from repro.experiments.config import default_algorithms
+
+    lineup = default_algorithms()
+    lineup.update(
+        sketch_algorithms((sketch_eps,), kind="qdigest", gated=True, one_shot=True)
+    )
+    return lineup
+
+
+@dataclass(frozen=True)
+class FaultSeriesPoint:
+    """Per-(algorithm, loss rate, retry budget) outcome of the fault study."""
+
+    algorithm: str
+    loss_rate: float
+    retries: int
+    churn_rate: float
+    rounds: int
+    exact_fraction: float
+    mean_rank_error: float
+    mean_value_error: float
+    #: Query re-initializations actually executed (and charged).
+    reinit_count: int
+    #: Fraction of rounds whose protocol state broke down (exceptions).
+    failure_rate: float
+    #: Mean delivered coverage over full-collection convergecasts.
+    delivered_fraction: float
+    #: Max per-sensor mean round energy [mJ] — the hotspot that dies first.
+    hotspot_energy_mj: float
+    lost_transmissions: int
+    retransmissions: int
+    #: Sensors still alive after the last round (== all without churn).
+    survivors: int
+
+
+@dataclass
+class FaultExperimentResult:
+    """All cells of the fault study."""
+
+    points: list[FaultSeriesPoint]
+
+    def series(self, algorithm: str) -> list[FaultSeriesPoint]:
+        """One algorithm's cells, ordered by (loss rate, retry budget)."""
+        selected = [p for p in self.points if p.algorithm == algorithm]
+        return sorted(selected, key=lambda p: (p.loss_rate, p.retries))
+
+    def cell(
+        self, algorithm: str, loss_rate: float, retries: int
+    ) -> FaultSeriesPoint:
+        """The single cell for one (algorithm, loss, retries) setting."""
+        for point in self.points:
+            if (
+                point.algorithm == algorithm
+                and point.loss_rate == loss_rate
+                and point.retries == retries
+            ):
+                return point
+        raise KeyError(f"no cell ({algorithm!r}, {loss_rate}, {retries})")
+
+
+def run_fault_experiment(
+    algorithms: dict[str, AlgorithmFactory],
+    loss_rates: tuple[float, ...] = (0.0, 0.05, 0.1),
+    retry_budgets: tuple[int, ...] = (0, 2),
+    churn_rate: float = 0.0,
+    burst_length: float | None = None,
+    num_nodes: int = 100,
+    num_rounds: int = 60,
+    radio_range: float = 35.0,
+    seed: int = 20140324,
+    watchdog_patience: int = 2,
+) -> FaultExperimentResult:
+    """Sweep every algorithm over loss rates x retry budgets.
+
+    The deployment and workload are seeded per loss rate only, so all
+    algorithms *and all retry budgets* at one loss rate face the identical
+    network and measurement series — the retry axis isolates the ARQ
+    effect.  ``burst_length`` switches the loss process from i.i.d. to a
+    Gilbert–Elliott chain matched to the same average rate.
+    """
+    points: list[FaultSeriesPoint] = []
+    for loss in loss_rates:
+        loss_key = int(round(loss * 10_000))
+        for retries in retry_budgets:
+            for name, factory in algorithms.items():
+                deploy_rng = np.random.default_rng((seed, loss_key))
+                graph = connected_random_graph(
+                    num_nodes + 1, radio_range, deploy_rng
+                )
+                tree = build_routing_tree(graph, root=0)
+                workload = SyntheticWorkload(graph.positions, deploy_rng)
+                spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+                fault_rng = np.random.default_rng(
+                    (seed, loss_key, retries, 7)
+                )
+                plan = FaultPlan(
+                    loss=_loss_model(loss, burst_length),
+                    churn=RandomChurn(churn_rate) if churn_rate > 0 else None,
+                    rng=fault_rng,
+                )
+                points.append(
+                    _run_one(
+                        name,
+                        factory,
+                        spec,
+                        tree,
+                        workload,
+                        plan,
+                        ArqPolicy(max_retries=retries),
+                        loss,
+                        churn_rate,
+                        num_rounds,
+                        radio_range,
+                        watchdog_patience,
+                    )
+                )
+    return FaultExperimentResult(points=points)
+
+
+def _loss_model(loss: float, burst_length: float | None) -> LinkLossModel | None:
+    if loss <= 0.0:
+        return None
+    if burst_length is None:
+        return IndependentLoss(loss)
+    return GilbertElliottLoss.from_average(loss, burst_length=burst_length)
+
+
+def _run_one(
+    name: str,
+    factory: AlgorithmFactory,
+    spec: QuerySpec,
+    tree: RoutingTree,
+    workload: SyntheticWorkload,
+    plan: FaultPlan,
+    arq: ArqPolicy,
+    loss: float,
+    churn_rate: float,
+    num_rounds: int,
+    radio_range: float,
+    watchdog_patience: int,
+) -> FaultSeriesPoint:
+    ledger = EnergyLedger(tree.num_vertices, tree.root, EnergyModel(), radio_range)
+    net = FaultyTreeNetwork(tree, ledger, plan=plan, arq=arq)
+    watchdog = RootWatchdog(tree, patience=watchdog_patience)
+
+    algorithm = factory(spec)
+    needs_init = True
+    last_answer: int | None = None
+    exact = failures = reinits = 0
+    rank_errors: list[int] = []
+    value_errors: list[int] = []
+    coverages: list[float] = []
+    rounds_run = 0
+
+    for round_index in range(num_rounds):
+        net.begin_faults_round(round_index)
+        live = net.live_sensor_nodes()
+        if not live:
+            break  # every sensor died; nothing left to query
+        values = np.asarray(workload.values(round_index))
+        ledger.begin_round()
+        log_start = len(net.collection_log)
+        reinitialized = False
+        try:
+            if needs_init:
+                if round_index > 0:
+                    algorithm = factory(spec)
+                    reinits += 1
+                    reinitialized = True
+                outcome = algorithm.initialize(net, values)
+                needs_init = False
+            else:
+                outcome = algorithm.update(net, values)
+            last_answer = outcome.quantile
+        except ProtocolError:
+            # Loss/churn drove the protocol state into an impossible
+            # configuration.  Re-synchronize from scratch *in this round*:
+            # the re-init broadcast + convergecast is real traffic and is
+            # charged to the open ledger round like everything else.
+            failures += 1
+            algorithm = factory(spec)
+            try:
+                outcome = algorithm.initialize(net, values)
+                reinits += 1
+                reinitialized = True
+                needs_init = False
+                last_answer = outcome.quantile
+            except ProtocolError:
+                needs_init = True  # even the re-init drowned; retry next round
+        ledger.end_round()
+        rounds_run += 1
+
+        # Root-side watchdog: full collections tell the root who is gone.
+        reinit_wanted = False
+        full_records = [
+            record
+            for record in net.collection_log[log_start:]
+            if watchdog.is_full_collection(record, len(live))
+        ]
+        for record in full_records:
+            coverages.append(record.coverage)
+        if full_records:
+            if reinitialized:
+                watchdog.adopt(full_records[-1])
+            else:
+                for record in full_records:
+                    reinit_wanted |= watchdog.observe(record)
+        if reinit_wanted:
+            needs_init = True  # scheduled re-initialization, next round
+
+        # Accuracy against the live population's quantile.
+        live_values = values[list(live)]
+        k_live = quantile_rank(len(live), spec.phi)
+        truth = exact_quantile(live_values, k_live)
+        answer = last_answer if last_answer is not None else truth
+        exact += int(answer == truth)
+        value_errors.append(abs(answer - truth))
+        rank_errors.append(insertion_rank_error(live_values, answer, k_live))
+
+    rounds_run = max(rounds_run, 1)
+    return FaultSeriesPoint(
+        algorithm=name,
+        loss_rate=loss,
+        retries=arq.max_retries,
+        churn_rate=churn_rate,
+        rounds=rounds_run,
+        exact_fraction=exact / rounds_run,
+        mean_rank_error=float(np.mean(rank_errors)) if rank_errors else 0.0,
+        mean_value_error=float(np.mean(value_errors)) if value_errors else 0.0,
+        reinit_count=reinits,
+        failure_rate=failures / rounds_run,
+        delivered_fraction=float(np.mean(coverages)) if coverages else 1.0,
+        hotspot_energy_mj=ledger.max_mean_round_energy() * 1e3,
+        lost_transmissions=net.lost_transmissions,
+        retransmissions=net.retransmissions,
+        survivors=len(net.live_sensor_nodes()),
+    )
+
+
+# -- legacy loss-study API (extensions/loss.py) ------------------------------
+
+
+@dataclass
+class LossSeriesPoint:
+    """Per-(algorithm, loss-rate) outcome of the original loss study."""
+
+    algorithm: str
+    loss_probability: float
+    exact_fraction: float
+    mean_rank_error: float
+    mean_value_error: float
+    failure_rate: float
+
+
+@dataclass
+class LossExperimentResult:
+    """All series of the loss study, keyed by algorithm name."""
+
+    points: list[LossSeriesPoint]
+
+    def series(self, algorithm: str) -> list[LossSeriesPoint]:
+        """The loss sweep of one algorithm, ordered by loss rate."""
+        selected = [p for p in self.points if p.algorithm == algorithm]
+        return sorted(selected, key=lambda p: p.loss_probability)
+
+
+def run_loss_experiment(
+    algorithms: dict[str, AlgorithmFactory],
+    loss_probabilities: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.2),
+    num_nodes: int = 100,
+    num_rounds: int = 60,
+    radio_range: float = 35.0,
+    seed: int = 20140324,
+) -> LossExperimentResult:
+    """The original Section-6 study: rank error under i.i.d. loss, no ARQ.
+
+    Now a thin view over :func:`run_fault_experiment` — same fault path,
+    same recovery layer — narrowed to the retry-less, churn-free setting
+    and the original result shape.
+    """
+    result = run_fault_experiment(
+        algorithms,
+        loss_rates=tuple(loss_probabilities),
+        retry_budgets=(0,),
+        num_nodes=num_nodes,
+        num_rounds=num_rounds,
+        radio_range=radio_range,
+        seed=seed,
+    )
+    return LossExperimentResult(
+        points=[
+            LossSeriesPoint(
+                algorithm=p.algorithm,
+                loss_probability=p.loss_rate,
+                exact_fraction=p.exact_fraction,
+                mean_rank_error=p.mean_rank_error,
+                mean_value_error=p.mean_value_error,
+                failure_rate=p.failure_rate,
+            )
+            for p in result.points
+        ]
+    )

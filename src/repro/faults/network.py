@@ -1,0 +1,170 @@
+"""A TreeNetwork whose links lose frames, whose nodes die — and which
+optionally fights back with per-hop ARQ.
+
+:class:`FaultyTreeNetwork` plugs a :class:`~repro.faults.plan.FaultPlan`
+into the engine's fault hooks, so **every** algorithm in the package (exact
+and sketch) runs under injected faults without modification.  On top of the
+raw faults sits the first recovery mechanism, :class:`ArqPolicy`: stop-and-
+wait acknowledgements with a bounded retransmission budget, every attempt
+honestly charged to the energy ledger:
+
+* each data-frame attempt costs the child one send and the (live) parent
+  one receive;
+* a received frame is acknowledged with an
+  :func:`~repro.radio.message.ack_cost` frame (parent pays the send, child
+  the receive) — and the ACK itself can be lost, in which case the child
+  retransmits a frame the parent already has (the parent de-duplicates by
+  sequence number, but the energy is spent either way);
+* a child whose frame was lost still listens through the ACK window in
+  vain, paying the receive cost of an ACK-sized frame.
+
+Broadcasts stay loss-free (flooding redundancy masks individual drops) but
+are pruned by churn: a dead internal vertex cannot retransmit, so its whole
+subtree misses the flood — see ``TreeNetwork.broadcast``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, IndependentLoss
+from repro.network.tree import RoutingTree
+from repro.radio.ledger import EnergyLedger
+from repro.radio.message import ack_cost, message_bits
+from repro.sim.engine import Payload, TreeNetwork
+
+
+@dataclass(frozen=True)
+class ArqPolicy:
+    """Per-hop stop-and-wait ARQ with a bounded retry budget.
+
+    ``max_retries == 0`` disables the protocol entirely (no ACK traffic,
+    single best-effort attempt) so that retry sweeps compare against a true
+    zero-overhead baseline.
+    """
+
+    max_retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether ACKs and retransmissions happen at all."""
+        return self.max_retries > 0
+
+    @property
+    def max_attempts(self) -> int:
+        """Data-frame transmissions allowed per hop."""
+        return self.max_retries + 1
+
+
+class FaultyTreeNetwork(TreeNetwork):
+    """Tree network with pluggable fault injection and per-hop ARQ."""
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        ledger: EnergyLedger,
+        plan: FaultPlan | None = None,
+        arq: ArqPolicy | None = None,
+        virtual_vertices: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        super().__init__(tree, ledger, virtual_vertices)
+        self.plan = plan if plan is not None else FaultPlan()
+        self.arq = arq if arq is not None else ArqPolicy()
+        self._track_sources = True
+        #: Data frames that failed to reach their (live) parent, attempts
+        #: counted individually.
+        self.lost_transmissions = 0
+        #: Extra data-frame attempts beyond the first, summed over hops.
+        self.retransmissions = 0
+        #: Acknowledgement frames put on the air by receiving parents.
+        self.acks_sent = 0
+        #: ACK frames that were lost (triggering a redundant retransmission).
+        self.lost_acks = 0
+
+    # -- round lifecycle ------------------------------------------------------
+
+    def begin_faults_round(self, round_index: int) -> frozenset[int]:
+        """Advance the fault plan by one round; returns newly dead vertices."""
+        return self.plan.begin_round(self.tree, round_index)
+
+    def live_sensor_nodes(self) -> tuple[int, ...]:
+        """Sensor nodes that are still alive under the plan's churn."""
+        return tuple(
+            v for v in self.tree.sensor_nodes if not self.plan.is_dead(v)
+        )
+
+    # -- engine fault hooks ---------------------------------------------------
+
+    def _vertex_down(self, vertex: int) -> bool:
+        return self.plan.is_dead(vertex)
+
+    def _hop_delivered(
+        self, vertex: int, parent: int, payload: Payload
+    ) -> tuple[bool, int]:
+        cost = message_bits(payload.payload_bits())
+        distance = self.tree.link_distance[vertex]
+        parent_down = self._vertex_down(parent)
+        ack = ack_cost()
+        delivered = False
+        bits = 0
+        for attempt in range(self.arq.max_attempts):
+            if attempt > 0:
+                self.retransmissions += 1
+            self.ledger.charge_send(
+                vertex, cost, values=payload.num_values(), link_distance=distance
+            )
+            bits += cost.total_bits
+            if parent_down:
+                frame_ok = False
+            else:
+                # The parent listens on its TDMA schedule whether or not the
+                # frame survives the channel.
+                self.ledger.charge_recv(parent, cost)
+                frame_ok = not self.plan.transmission_lost(vertex, parent)
+            if frame_ok:
+                delivered = True
+            else:
+                self.lost_transmissions += 1
+            if not self.arq.enabled:
+                break
+            if frame_ok:
+                # Parent acknowledges; the ACK rides the same lossy channel.
+                self.ledger.charge_send(parent, ack, link_distance=distance)
+                self.ledger.charge_recv(vertex, ack)
+                self.acks_sent += 1
+                bits += ack.total_bits
+                if not self.plan.transmission_lost(parent, vertex):
+                    break
+                self.lost_acks += 1
+            else:
+                # The child listens through the ACK window in vain.
+                self.ledger.charge_recv(vertex, ack)
+        return delivered, bits
+
+
+class LossyTreeNetwork(FaultyTreeNetwork):
+    """Back-compat facade: i.i.d. convergecast loss, no churn, no ARQ.
+
+    This is the exact network ``extensions/loss.py`` shipped before the
+    fault subsystem existed; it remains importable from there.
+    """
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        ledger: EnergyLedger,
+        loss_probability: float,
+        rng: np.random.Generator,
+    ) -> None:
+        plan = FaultPlan(loss=IndependentLoss(loss_probability), rng=rng)
+        super().__init__(tree, ledger, plan=plan)
+        self.loss_probability = loss_probability

@@ -1,0 +1,264 @@
+"""Pluggable fault plans: what goes wrong, when, on which link.
+
+A :class:`FaultPlan` bundles the two failure modes the evaluation studies —
+per-transmission link loss and permanent node death (churn) — behind the
+three questions the network layer asks:
+
+* "is this vertex dead?" (:meth:`FaultPlan.is_dead`),
+* "did this frame get lost?" (:meth:`FaultPlan.transmission_lost`),
+* "who died this round?" (:meth:`FaultPlan.begin_round`).
+
+Link loss is modelled per directed link so acknowledgements can be lost
+independently of the data frames they confirm.  Two loss processes ship:
+
+* :class:`IndependentLoss` — i.i.d. Bernoulli loss per transmission, the
+  classical model (and what ``extensions/loss.py`` always simulated).
+* :class:`GilbertElliottLoss` — the two-state Markov burst-loss model:
+  each link flips between a good state (rare loss) and a bad/burst state
+  (frequent loss).  Bursts are what interference and fading actually look
+  like, and they hit convergecasts much harder than i.i.d. loss of the
+  same average rate because a whole subtree goes dark at once.
+
+Churn is modelled as *permanent* node death (battery failure, crush
+damage): :class:`RandomChurn` kills each live sensor with a fixed per-round
+hazard, :class:`ScheduledChurn` kills listed vertices at listed rounds
+(deterministic scenarios for tests and ablations).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.tree import RoutingTree
+
+
+def _validate_probability(name: str, value: float, upper_inclusive: bool = False) -> None:
+    upper_ok = value <= 1.0 if upper_inclusive else value < 1.0
+    if not (0.0 <= value and upper_ok):
+        bound = "[0, 1]" if upper_inclusive else "[0, 1)"
+        raise ConfigurationError(f"{name} must be in {bound}, got {value}")
+
+
+class LinkLossModel(ABC):
+    """Decides, per transmission attempt, whether a frame is lost."""
+
+    #: Long-run average loss rate, for labelling results.
+    nominal_loss: float = 0.0
+
+    @abstractmethod
+    def lost(self, sender: int, receiver: int, rng: np.random.Generator) -> bool:
+        """Sample one transmission over the directed link ``sender -> receiver``."""
+
+
+class IndependentLoss(LinkLossModel):
+    """I.i.d. Bernoulli loss: every transmission fails with ``probability``."""
+
+    def __init__(self, probability: float) -> None:
+        _validate_probability("loss probability", probability)
+        self.probability = probability
+        self.nominal_loss = probability
+
+    def lost(self, sender: int, receiver: int, rng: np.random.Generator) -> bool:
+        return self.probability > 0.0 and rng.random() < self.probability
+
+
+class GilbertElliottLoss(LinkLossModel):
+    """Bursty loss: a per-link two-state (good/bad) Markov chain.
+
+    The chain advances one step per transmission attempt on the link; the
+    loss probability of the attempt is the current state's (``loss_good``
+    in the good state, ``loss_bad`` in the burst state).  Links start good.
+
+    Args:
+        p_enter_burst: per-transmission probability of a good link entering
+            a burst.
+        p_exit_burst: per-transmission probability of a burst ending
+            (mean burst length is ``1 / p_exit_burst`` attempts).
+        loss_good: loss probability while good (usually ~0).
+        loss_bad: loss probability inside a burst (usually ~1).
+    """
+
+    def __init__(
+        self,
+        p_enter_burst: float,
+        p_exit_burst: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        _validate_probability("p_enter_burst", p_enter_burst)
+        if not 0.0 < p_exit_burst <= 1.0:
+            raise ConfigurationError(
+                f"p_exit_burst must be in (0, 1], got {p_exit_burst}"
+            )
+        _validate_probability("loss_good", loss_good)
+        _validate_probability("loss_bad", loss_bad, upper_inclusive=True)
+        self.p_enter_burst = p_enter_burst
+        self.p_exit_burst = p_exit_burst
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        stationary_bad = (
+            p_enter_burst / (p_enter_burst + p_exit_burst)
+            if p_enter_burst > 0.0
+            else 0.0
+        )
+        self.nominal_loss = (
+            stationary_bad * loss_bad + (1.0 - stationary_bad) * loss_good
+        )
+        self._burst_state: dict[tuple[int, int], bool] = {}
+
+    @classmethod
+    def from_average(
+        cls,
+        average_loss: float,
+        burst_length: float = 8.0,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> "GilbertElliottLoss":
+        """A burst model matched to a target long-run average loss rate.
+
+        Useful for apples-to-apples sweeps against :class:`IndependentLoss`:
+        same average rate, different temporal structure.
+        """
+        _validate_probability("average_loss", average_loss)
+        if burst_length < 1.0:
+            raise ConfigurationError(
+                f"burst_length must be >= 1, got {burst_length}"
+            )
+        if loss_bad <= loss_good:
+            raise ConfigurationError("loss_bad must exceed loss_good")
+        if average_loss < loss_good:
+            raise ConfigurationError(
+                "average_loss below loss_good is unreachable"
+            )
+        # Solve pi_bad * loss_bad + (1 - pi_bad) * loss_good = average_loss
+        # for the stationary burst probability, then pick p_enter to realize
+        # it at the requested mean burst length.
+        pi_bad = (average_loss - loss_good) / (loss_bad - loss_good)
+        if pi_bad >= 1.0:
+            raise ConfigurationError("average_loss not reachable with loss_bad")
+        p_exit = 1.0 / burst_length
+        p_enter = p_exit * pi_bad / (1.0 - pi_bad)
+        return cls(p_enter, p_exit, loss_good=loss_good, loss_bad=loss_bad)
+
+    def lost(self, sender: int, receiver: int, rng: np.random.Generator) -> bool:
+        link = (sender, receiver)
+        bad = self._burst_state.get(link, False)
+        if bad:
+            bad = not (rng.random() < self.p_exit_burst)
+        else:
+            bad = rng.random() < self.p_enter_burst
+        self._burst_state[link] = bad
+        probability = self.loss_bad if bad else self.loss_good
+        return probability > 0.0 and rng.random() < probability
+
+
+class ChurnModel(ABC):
+    """Decides which live sensors die (permanently) at each round start."""
+
+    @abstractmethod
+    def deaths(
+        self,
+        round_index: int,
+        live: Sequence[int],
+        rng: np.random.Generator,
+    ) -> Iterable[int]:
+        """Vertices among ``live`` that die entering ``round_index``."""
+
+
+class RandomChurn(ChurnModel):
+    """Memoryless churn: each live sensor dies with ``rate`` per round.
+
+    ``start_round`` (default 1) leaves the initialization round clean so a
+    query can at least be planted before the network starts crumbling.
+    """
+
+    def __init__(self, rate: float, start_round: int = 1) -> None:
+        _validate_probability("churn rate", rate, upper_inclusive=True)
+        if start_round < 0:
+            raise ConfigurationError(f"start_round must be >= 0, got {start_round}")
+        self.rate = rate
+        self.start_round = start_round
+
+    def deaths(
+        self,
+        round_index: int,
+        live: Sequence[int],
+        rng: np.random.Generator,
+    ) -> Iterable[int]:
+        if round_index < self.start_round or self.rate == 0.0 or not live:
+            return ()
+        mask = rng.random(len(live)) < self.rate
+        return [vertex for vertex, dead in zip(live, mask) if dead]
+
+
+class ScheduledChurn(ChurnModel):
+    """Deterministic churn from an explicit ``{round: vertices}`` script."""
+
+    def __init__(self, schedule: Mapping[int, Iterable[int]]) -> None:
+        self.schedule = {
+            int(round_index): tuple(vertices)
+            for round_index, vertices in schedule.items()
+        }
+
+    def deaths(
+        self,
+        round_index: int,
+        live: Sequence[int],
+        rng: np.random.Generator,
+    ) -> Iterable[int]:
+        # Returned verbatim: the plan validates (root!) and drops vertices
+        # that already died.
+        return self.schedule.get(round_index, ())
+
+
+class FaultPlan:
+    """One deployment's failure script: link loss + churn + their randomness.
+
+    A plan with neither model (the default) is a perfectly reliable network,
+    so :class:`~repro.faults.network.FaultyTreeNetwork` degrades gracefully
+    to the plain engine behaviour.
+    """
+
+    def __init__(
+        self,
+        loss: LinkLossModel | None = None,
+        churn: ChurnModel | None = None,
+        rng: np.random.Generator | None = None,
+        seed: int = 20140324,
+    ) -> None:
+        self.loss = loss
+        self.churn = churn
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        #: Permanently dead vertices (never contains a root).
+        self.dead: set[int] = set()
+
+    @property
+    def nominal_loss(self) -> float:
+        """The loss model's long-run average rate (0.0 without one)."""
+        return self.loss.nominal_loss if self.loss is not None else 0.0
+
+    def begin_round(self, tree: RoutingTree, round_index: int) -> frozenset[int]:
+        """Advance churn by one round; returns the newly dead vertices."""
+        if self.churn is None:
+            return frozenset()
+        live = [v for v in tree.sensor_nodes if v not in self.dead]
+        requested = frozenset(self.churn.deaths(round_index, live, self.rng))
+        if tree.root in requested:
+            raise ConfigurationError("the root (sink) cannot die")
+        newly = requested & frozenset(live)
+        self.dead |= newly
+        return newly
+
+    def is_dead(self, vertex: int) -> bool:
+        """True when ``vertex`` has permanently failed."""
+        return vertex in self.dead
+
+    def transmission_lost(self, sender: int, receiver: int) -> bool:
+        """Sample one transmission attempt on ``sender -> receiver``."""
+        return self.loss is not None and self.loss.lost(
+            sender, receiver, self.rng
+        )

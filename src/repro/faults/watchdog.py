@@ -1,0 +1,124 @@
+"""Root-side silent-subtree detection.
+
+The root cannot observe faults directly — it only sees what arrives.  For
+*full collections* (initialization, TAG rounds, sketch refreshes: every
+live sensor is supposed to contribute) the root does know what "everyone"
+should look like, so :class:`RootWatchdog` watches exactly those rounds:
+
+* overall coverage collapsing well below the adopted baseline, or
+* a top-level subtree (a root child's branch) that used to deliver going
+  completely silent,
+
+sustained for ``patience`` consecutive full collections, triggers a query
+re-initialization instead of letting the root's counters rot silently.
+After a re-initialization the watchdog *adopts* the fresh collection as the
+new baseline — permanently dead branches stop re-triggering it, turning
+node churn into a one-time recovery cost rather than a re-init loop.
+
+Validation convergecasts are deliberately not watched: in the gated
+algorithms silence is the *normal* steady state (no transitions, no
+messages), so only mandatory-response rounds carry signal.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.network.tree import RoutingTree
+from repro.sim.engine import CollectionRecord
+
+
+class RootWatchdog:
+    """Detects persistently silent subtrees from full-collection outcomes.
+
+    Args:
+        tree: the routing tree (to map contributors to root branches).
+        patience: consecutive suspicious full collections before a
+            re-initialization is recommended.
+        coverage_drop: a collection is suspicious when its coverage falls
+            below ``coverage_drop * baseline_coverage``.
+        full_fraction: fraction of the believed-live population a
+            convergecast must target to count as a full collection.
+    """
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        patience: int = 2,
+        coverage_drop: float = 0.5,
+        full_fraction: float = 0.9,
+    ) -> None:
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if not 0.0 < coverage_drop <= 1.0:
+            raise ConfigurationError(
+                f"coverage_drop must be in (0, 1], got {coverage_drop}"
+            )
+        if not 0.0 < full_fraction <= 1.0:
+            raise ConfigurationError(
+                f"full_fraction must be in (0, 1], got {full_fraction}"
+            )
+        self.tree = tree
+        self.patience = patience
+        self.coverage_drop = coverage_drop
+        self.full_fraction = full_fraction
+        self._branch = self._branch_map(tree)
+        self._baseline_coverage = 1.0
+        self._baseline_branches = frozenset(
+            self._branch[v] for v in tree.sensor_nodes
+        )
+        self._streak = 0
+        #: Re-initializations recommended so far.
+        self.triggered = 0
+
+    @staticmethod
+    def _branch_map(tree: RoutingTree) -> dict[int, int]:
+        """Each vertex's top-level ancestor (the root child of its branch)."""
+        branch: dict[int, int] = {tree.root: tree.root}
+        for vertex in tree.top_down_order:
+            if vertex == tree.root:
+                continue
+            parent = tree.parent[vertex]
+            branch[vertex] = vertex if parent == tree.root else branch[parent]
+        return branch
+
+    def is_full_collection(self, record: CollectionRecord, live: int) -> bool:
+        """Whether ``record`` targeted (nearly) the whole live population."""
+        return live > 0 and record.expected >= self.full_fraction * live
+
+    def observe(self, record: CollectionRecord) -> bool:
+        """Feed one full-collection record; True recommends re-initializing."""
+        if record.expected == 0:
+            return False
+        coverage = record.coverage
+        delivered_branches = {self._branch[v] for v in record.delivered}
+        silent_branches = self._baseline_branches - delivered_branches
+        suspicious = (
+            coverage < self.coverage_drop * self._baseline_coverage
+            or bool(silent_branches)
+        )
+        if not suspicious:
+            self._streak = 0
+            # A healthy round sharpens the notion of normal coverage.
+            self._baseline_coverage = max(self._baseline_coverage, coverage)
+            return False
+        self._streak += 1
+        if self._streak < self.patience:
+            return False
+        self._streak = 0
+        self.triggered += 1
+        return True
+
+    def adopt(self, record: CollectionRecord) -> None:
+        """Accept a (re-)initialization collection as the new baseline.
+
+        Called right after a re-initialization: whatever that mandatory
+        round delivered *is* the reachable network now, so branches that
+        stayed silent through it are presumed dead and no longer awaited.
+        """
+        if record.expected == 0:
+            return
+        self._baseline_coverage = record.coverage
+        self._baseline_branches = frozenset(
+            self._branch[v] for v in record.delivered
+        )
+        self._streak = 0

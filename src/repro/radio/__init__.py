@@ -1,6 +1,6 @@
 """Radio substrate: message sizing, energy model and per-node accounting."""
 
-from repro.radio.message import MessageCost, fragment_count, message_bits
+from repro.radio.message import MessageCost, ack_cost, fragment_count, message_bits
 from repro.radio.energy import EnergyModel
 from repro.radio.ledger import EnergyLedger, TrafficCounters
 
@@ -9,6 +9,7 @@ __all__ = [
     "EnergyModel",
     "MessageCost",
     "TrafficCounters",
+    "ack_cost",
     "fragment_count",
     "message_bits",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.constants import HEADER_BITS, MAX_PAYLOAD_BITS
+from repro.constants import ACK_FRAME_BITS, HEADER_BITS, MAX_PAYLOAD_BITS
 from repro.errors import ConfigurationError
 
 
@@ -63,3 +63,17 @@ def message_bits(
         total_bits=frames * header_bits + payload_bits,
         payload_bits=payload_bits,
     )
+
+
+def ack_cost(ack_frame_bits: int = ACK_FRAME_BITS) -> MessageCost:
+    """Frame cost of one link-layer acknowledgement.
+
+    ACKs carry no application payload; the whole frame is the 802.15.4-style
+    immediate-ack header, so both the transmitting parent and the listening
+    child are charged :data:`~repro.constants.ACK_FRAME_BITS` bits.
+    """
+    if ack_frame_bits <= 0:
+        raise ConfigurationError(
+            f"ack_frame_bits must be positive, got {ack_frame_bits}"
+        )
+    return MessageCost(messages=1, total_bits=ack_frame_bits, payload_bits=0)

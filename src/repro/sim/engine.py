@@ -23,6 +23,7 @@ exactly as described in Section 5.1.4: the sender pays
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Mapping, Optional, TypeVar
 
 from repro.errors import ProtocolError
@@ -31,6 +32,28 @@ from repro.radio.ledger import EnergyLedger
 from repro.radio.message import message_bits
 
 P = TypeVar("P", bound="Payload")
+
+
+@dataclass(frozen=True)
+class CollectionRecord:
+    """Root-observable outcome of one convergecast.
+
+    ``expected`` counts the non-empty contributions that entered the tree;
+    ``delivered`` holds the contributors whose payload is represented in the
+    merged root payload.  On a reliable network the two always coincide;
+    under fault injection (``repro.faults``) the gap is what the root-side
+    watchdog watches.
+    """
+
+    expected: int
+    delivered: frozenset[int]
+
+    @property
+    def coverage(self) -> float:
+        """Delivered fraction of the expected contributions (1.0 if none)."""
+        if self.expected == 0:
+            return 1.0
+        return len(self.delivered) / self.expected
 
 
 class Payload(ABC):
@@ -105,11 +128,48 @@ class TreeNetwork:
         #: on-air bits are attributed to it in :attr:`phase_bits`.
         self.phase = "other"
         self.phase_bits: dict[str, int] = {}
+        #: One :class:`CollectionRecord` per convergecast, in order.  The
+        #: fault experiments feed these to the root-side watchdog; long
+        #: reliable runs may :meth:`list.clear` it between rounds.
+        self.collection_log: list[CollectionRecord] = []
+        #: Whether convergecasts must track per-hop payload provenance.
+        #: Reliable networks deliver every contribution, so the base class
+        #: skips the bookkeeping; fault-injecting subclasses enable it.
+        self._track_sources = False
 
     @property
     def num_sensor_nodes(self) -> int:
         """Number of measuring nodes ``|N|``."""
         return self.tree.num_sensor_nodes
+
+    # -- fault-injection hooks ------------------------------------------------
+    #
+    # The base class is a perfectly reliable network; these hooks are the
+    # single seam through which ``repro.faults.FaultyTreeNetwork`` injects
+    # link loss, node death and per-hop ARQ.  Both primitives below route
+    # every radio interaction through them, so *any* algorithm written
+    # against TreeNetwork runs under faults unchanged.
+
+    def _vertex_down(self, vertex: int) -> bool:
+        """True when ``vertex`` is permanently dead (churn).  Never the root."""
+        return False
+
+    def _hop_delivered(self, vertex: int, parent: int, payload: "Payload") -> tuple[bool, int]:
+        """Transmit one merged payload over the ``vertex -> parent`` link.
+
+        Charges all radio activity for the hop to the ledger and returns
+        ``(delivered, bits_on_air)``.  The reliable base implementation is
+        one send + one receive and always delivers.
+        """
+        cost = message_bits(payload.payload_bits())
+        self.ledger.charge_send(
+            vertex,
+            cost,
+            values=payload.num_values(),
+            link_distance=self.tree.link_distance[vertex],
+        )
+        self.ledger.charge_recv(parent, cost)
+        return True, cost.total_bits
 
     def convergecast(
         self, contributions: Mapping[int, P]
@@ -130,10 +190,19 @@ class TreeNetwork:
         tree = self.tree
         self.exchanges += 1
         accumulated: dict[int, P] = {}
+        expected = 0
+        contributors: list[int] = []
+        sources: dict[int, set[int]] = {}
         for vertex, payload in contributions.items():
             if payload.is_empty():
                 continue
+            expected += 1
+            if self._vertex_down(vertex):
+                continue  # a dead node measures and transmits nothing
             accumulated[vertex] = payload
+            contributors.append(vertex)
+            if self._track_sources:
+                sources[vertex] = {vertex}
 
         phase_total = 0
         for vertex in tree.bottom_up_order:
@@ -142,31 +211,45 @@ class TreeNetwork:
             merged = accumulated.get(vertex)
             if merged is None:
                 continue
+            if self._vertex_down(vertex):
+                continue  # forwarded state dies with the forwarding node
             parent = tree.parent[vertex]
-            if vertex not in self.virtual_vertices:
-                cost = message_bits(merged.payload_bits())
-                self.ledger.charge_send(
-                    vertex,
-                    cost,
-                    values=merged.num_values(),
-                    link_distance=tree.link_distance[vertex],
-                )
-                self.ledger.charge_recv(parent, cost)
-                phase_total += cost.total_bits
+            if vertex in self.virtual_vertices:
+                delivered = True  # device-internal link, no radio
+            else:
+                delivered, bits = self._hop_delivered(vertex, parent, merged)
+                phase_total += bits
+            if not delivered:
+                continue
             existing = accumulated.get(parent)
             accumulated[parent] = (
                 merged if existing is None else existing.merged_with(merged)
             )
+            if self._track_sources:
+                sources.setdefault(parent, set()).update(sources.get(vertex, ()))
         self.phase_bits[self.phase] = (
             self.phase_bits.get(self.phase, 0) + phase_total
         )
+        if self._track_sources:
+            delivered_sources = frozenset(sources.get(tree.root, set()))
+        else:
+            # Reliable delivery: every live contribution reaches the root.
+            delivered_sources = frozenset(contributors)
+        self.collection_log.append(
+            CollectionRecord(expected=expected, delivered=delivered_sources)
+        )
         return accumulated.get(tree.root)
 
-    def broadcast(self, payload_bits: int) -> None:
+    def broadcast(self, payload_bits: int) -> int:
         """Flood ``payload_bits`` of payload from the root to every node.
 
         Each internal vertex (root included) transmits once; each non-root
-        vertex receives once from its parent.
+        vertex receives once from its parent.  Downstream link loss is
+        assumed to be masked by flooding redundancy, but a dead internal
+        vertex cannot retransmit, so its whole subtree misses the flood.
+
+        Returns the number of non-root vertices the flood reached (on a
+        reliable, churn-free network: all of them).
         """
         if payload_bits < 0:
             raise ProtocolError(f"payload_bits must be >= 0, got {payload_bits}")
@@ -174,14 +257,26 @@ class TreeNetwork:
         self.exchanges += 1
         cost = message_bits(payload_bits)
         phase_total = 0
-        for vertex in tree.internal_vertices():
+        reached = [False] * tree.num_vertices
+        reached[tree.root] = True
+        reached_count = 0
+        for vertex in tree.top_down_order:
+            if not reached[vertex] or not tree.children[vertex]:
+                continue
+            if vertex != tree.root and self._vertex_down(vertex):
+                continue  # pruned by churn: the subtree misses the flood
             self.ledger.charge_send(
                 vertex, cost, link_distance=tree.link_distance[vertex]
             )
             phase_total += cost.total_bits
             for child in tree.children[vertex]:
+                if self._vertex_down(child):
+                    continue  # dead receivers neither listen nor pay
+                reached[child] = True
+                reached_count += 1
                 if child not in self.virtual_vertices:
                     self.ledger.charge_recv(child, cost)
         self.phase_bits[self.phase] = (
             self.phase_bits.get(self.phase, 0) + phase_total
         )
+        return reached_count

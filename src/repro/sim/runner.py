@@ -27,6 +27,10 @@ if TYPE_CHECKING:  # imported lazily to avoid a core <-> sim import cycle
 #: Maps a round index to per-vertex measurements (root entry ignored).
 ValuesProvider = Callable[[int], np.ndarray]
 
+#: Builds the network binding for one run — the seam through which fault
+#: injection (``repro.faults.FaultyTreeNetwork``) slips under any runner.
+NetworkFactory = Callable[[RoutingTree, EnergyLedger], TreeNetwork]
+
 
 #: Public alias: one entry of :attr:`RunResult.rounds`.
 RoundRecord = RoundStats
@@ -85,6 +89,10 @@ class SimulationRunner:
         energy_model: radio cost parameters.
         check: assert each round's answer against the oracle (default on;
             benchmarks may disable it to measure pure protocol cost).
+        network_factory: builds the tree/ledger binding per run; inject
+            ``repro.faults.FaultyTreeNetwork`` here to run any algorithm
+            under faults (``check`` should then be off — under loss even
+            exact algorithms legitimately miss the oracle).
     """
 
     def __init__(
@@ -93,11 +101,13 @@ class SimulationRunner:
         radio_range: float,
         energy_model: EnergyModel | None = None,
         check: bool = True,
+        network_factory: NetworkFactory | None = None,
     ) -> None:
         self.tree = tree
         self.radio_range = radio_range
         self.energy_model = energy_model or EnergyModel()
         self.check = check
+        self.network_factory = network_factory or TreeNetwork
 
     def run(
         self,
@@ -114,7 +124,7 @@ class SimulationRunner:
             model=self.energy_model,
             radio_range=self.radio_range,
         )
-        net = TreeNetwork(self.tree, ledger)
+        net = self.network_factory(self.tree, ledger)
         k = quantile_rank(net.num_sensor_nodes, algorithm.spec.phi)
         result = RunResult(algorithm=algorithm.name)
 

@@ -10,6 +10,12 @@ Any object with ``merged(other)``, ``payload_bits()``, ``num_entries()``
 and an ``n`` attribute qualifies as a sketch — both
 :class:`~repro.sketch.qdigest.QDigest` and
 :class:`~repro.sketch.kll.KLLSketch` do.
+
+Under fault injection (:mod:`repro.faults`) whole subtrees can go missing
+from a collection, so the merged root sketch may summarize fewer than
+``|N|`` values.  ``QuantileSketch.n`` is therefore load-bearing: consumers
+must clamp query ranks to it and widen rank bounds by the shortfall — see
+``core/sketchq.py`` — rather than assume full coverage.
 """
 
 from __future__ import annotations

@@ -40,6 +40,25 @@ class TestParser:
         args = build_parser().parse_args(["loss", "--rates", "0", "0.1"])
         assert args.rates == [0.0, 0.1]
 
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.command == "faults"
+        assert args.loss == [0.0, 0.05, 0.1]
+        assert args.retries == [0, 2]
+        assert args.burst is None
+        assert args.churn == 0.0
+        assert args.patience == 2
+
+    def test_faults_matrix_parsed(self):
+        args = build_parser().parse_args(
+            ["faults", "--loss", "0.05", "0.1", "--retries", "0", "1", "3",
+             "--burst", "8", "--churn", "0.01"]
+        )
+        assert args.loss == [0.05, 0.1]
+        assert args.retries == [0, 1, 3]
+        assert args.burst == 8.0
+        assert args.churn == 0.01
+
 
 class TestCommands:
     def test_run_prints_comparison(self, capsys):
@@ -82,6 +101,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "rank-err" in out
         assert "TAG" in out
+
+    def test_faults_prints_matrix(self, capsys):
+        code = main(
+            ["faults", "--loss", "0", "0.1", "--retries", "0", "2",
+             "--nodes", "30", "--rounds", "8", "--range", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for column in ("exact", "rank-err", "reinit", "hotE [mJ]", "retx"):
+            assert column in out
+        assert "TAG" in out and "SKQ@0.05" in out and "SK1@0.05" in out
+
+    def test_faults_burst_and_churn(self, capsys):
+        code = main(
+            ["faults", "--loss", "0.1", "--retries", "1", "--burst", "6",
+             "--churn", "0.02", "--nodes", "30", "--rounds", "8",
+             "--range", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Gilbert-Elliott" in out
+        assert "churn=0.02" in out
 
     def test_sketch_prints_comparison(self, capsys):
         code = main(

@@ -12,7 +12,6 @@ from repro.extensions.loss import (
     _rank_error,
     run_loss_experiment,
 )
-from repro.network.tree import tree_from_parents
 from repro.radio.energy import EnergyModel
 from repro.radio.ledger import EnergyLedger
 
