@@ -39,7 +39,6 @@ from repro.constants import (
 )
 from repro.core.base import (
     ContinuousQuantileAlgorithm,
-    sensor_mask,
     tag_initialization,
 )
 from repro.core.histogram import BucketGrid, make_grid
@@ -207,10 +206,43 @@ class LCLLHierarchical(ContinuousQuantileAlgorithm):
                     f"negative count at level {level} bucket {bucket}"
                 )
 
+    # -- repair hooks (repro.faults.repair) -----------------------------------
+
+    def detach(self, net: TreeNetwork, vertex: int) -> None:
+        super().detach(net, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = False
+        if self._registration is None:
+            return
+        for level in range(len(self._grids)):
+            bucket = int(self._registration[level, vertex])
+            if bucket >= 0:
+                self._counts[level][bucket] -= 1
+                if self._counts[level][bucket] < 0:
+                    raise ProtocolError(
+                        f"detach drove level {level} bucket {bucket} negative"
+                    )
+            self._registration[level, vertex] = -1
+
+    def rejoin(self, net: TreeNetwork, values: np.ndarray, vertex: int) -> None:
+        super().rejoin(net, values, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = True
+        if self._registration is None:
+            return
+        value = int(values[vertex])
+        for level, grid in enumerate(self._grids):
+            if grid.low <= value <= grid.high:
+                bucket = grid.bucket_of(value)
+                self._counts[level][bucket] += 1
+                self._registration[level, vertex] = bucket
+            else:
+                self._registration[level, vertex] = -1
+
     def _register_all(self, net: TreeNetwork, values: np.ndarray) -> np.ndarray:
         """Per-level bucket registration of every vertex (-1 = outside)."""
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         levels = len(self._grids)
         registration = np.full((levels, net.tree.num_vertices), -1, dtype=np.int32)
         values = np.asarray(values)
@@ -224,7 +256,7 @@ class LCLLHierarchical(ContinuousQuantileAlgorithm):
         self, net: TreeNetwork, values: np.ndarray, grid: BucketGrid
     ) -> tuple[int, ...]:
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         indices = grid.bucket_of_array(np.asarray(values))
         indices[~self._mask] = -1
         contributions: dict[int, HistogramPayload] = {}
@@ -265,7 +297,9 @@ class LCLLSlip(ContinuousQuantileAlgorithm):
 
     def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
         k = self.rank(net)
-        quantile, counters, smallest = tag_initialization(net, values, k)
+        quantile, counters, smallest = tag_initialization(
+            net, values, k, participants=self.participating_sensors(net)
+        )
         # Centre the focused window on the initial quantile and register the
         # in-window nodes with one histogram.  Windows may extend past the
         # universe bounds; cells for unrepresentable values simply stay empty.
@@ -275,7 +309,7 @@ class LCLLSlip(ContinuousQuantileAlgorithm):
         net.broadcast(2 * VALUE_BITS)  # window announcement
         self._cells = list(self._collect_window(net, values, low))
         self._below = sum(1 for value in smallest if value < low)
-        self._above = net.num_sensor_nodes - self._below - sum(self._cells)
+        self._above = self.population(net) - self._below - sum(self._cells)
         self._state = self._positions(net, values)
         self.current_quantile = quantile
         return RoundOutcome(quantile=quantile, refinements=1, filter_broadcast=True)
@@ -380,6 +414,50 @@ class LCLLSlip(ContinuousQuantileAlgorithm):
         if self._below < 0 or self._above < 0:
             raise ProtocolError("validation produced negative boundary counts")
 
+    # -- repair hooks (repro.faults.repair) -----------------------------------
+
+    def detach(self, net: TreeNetwork, vertex: int) -> None:
+        super().detach(net, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = False
+        if self._window_low is None or self._state is None:
+            return
+        self._shift_position(int(self._state[vertex]), -1)
+        self._state[vertex] = -1
+
+    def rejoin(self, net: TreeNetwork, values: np.ndarray, vertex: int) -> None:
+        super().rejoin(net, values, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = True
+        if self._window_low is None or self._state is None:
+            return
+        value = int(values[vertex])
+        if value < self._window_low:
+            position = -1
+        elif value > self._window_high:
+            position = self.window_cells
+        else:
+            position = value - self._window_low
+        self._shift_position(position, 1)
+        self._state[vertex] = position
+
+    def _shift_position(self, position: int, delta: int) -> None:
+        """Move one membership in/out of a window cell or boundary counter."""
+        if position == -1:
+            self._below += delta
+        elif position == self.window_cells:
+            self._above += delta
+        else:
+            self._cells[position] += delta
+            if self._cells[position] < 0:
+                raise ProtocolError(
+                    f"membership patch drove window cell {position} negative"
+                )
+        if self._below < 0 or self._above < 0:
+            raise ProtocolError(
+                "membership patch produced negative boundary counts"
+            )
+
     def _delta_key(self, position: int) -> tuple[int, int]:
         if position == -1:
             return (_REGION_LEVEL, _BELOW)
@@ -391,7 +469,7 @@ class LCLLSlip(ContinuousQuantileAlgorithm):
         """Window position of every vertex: -1 below, cell index, or ``cells``."""
         assert self._window_low is not None
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         values = np.asarray(values)
         low, high = self._window_low, self._window_high
         state = (values - low).astype(np.int32)
@@ -405,7 +483,7 @@ class LCLLSlip(ContinuousQuantileAlgorithm):
     ) -> tuple[int, ...]:
         """One-hot cell histograms from nodes inside the (new) window."""
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         values = np.asarray(values)
         window_high = window_low + self.window_cells - 1
         inside = self._mask & (values >= window_low) & (values <= window_high)

@@ -28,9 +28,10 @@ from repro.core.base import (
     ContinuousQuantileAlgorithm,
     RootCounters,
     build_validation,
+    classify,
     classify_array,
     hint_bounds,
-    sensor_mask,
+    shift_counter,
     tag_initialization,
 )
 from repro.core.payloads import ValidationPayload, ValueSetPayload
@@ -73,7 +74,9 @@ class POS(ContinuousQuantileAlgorithm):
 
     def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
         k = self.rank(net)
-        quantile, counters, _ = tag_initialization(net, values, k)
+        quantile, counters, _ = tag_initialization(
+            net, values, k, participants=self.participating_sensors(net)
+        )
         net.phase = "filter"
         net.broadcast(VALUE_BITS)  # filter dissemination (Section 3.2)
         self._filter = quantile
@@ -85,6 +88,7 @@ class POS(ContinuousQuantileAlgorithm):
     def update(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
         if self._filter is None or self._counters is None or self._state is None:
             raise ProtocolError("update() called before initialize()")
+        hints_stale = self.consume_stale_hints()
         k = self.rank(net)
         new_state = self._classify_all(net, values, self._filter)
         contributions = build_validation(
@@ -99,7 +103,7 @@ class POS(ContinuousQuantileAlgorithm):
         if self._counters.is_valid(k):
             self.current_quantile = self._filter
             return RoundOutcome(quantile=self._filter)
-        outcome = self._refine(net, values, merged, k)
+        outcome = self._refine(net, values, merged, k, hints_stale)
         self.current_quantile = outcome.quantile
         return outcome
 
@@ -137,12 +141,13 @@ class POS(ContinuousQuantileAlgorithm):
         values: np.ndarray,
         validation: ValidationPayload | None,
         k: int,
+        hints_stale: bool = False,
     ) -> RoundOutcome:
         assert self._filter is not None and self._counters is not None
         counters = self._counters
-        num_nodes = net.num_sensor_nodes
+        num_nodes = self.population(net)
         direction = counters.position_of_rank(k)
-        if self.use_hints:
+        if self.use_hints and not hints_stale:
             hint_low, hint_high = hint_bounds(
                 validation, self._filter, self._filter, self.spec, symmetric=False
             )
@@ -225,12 +230,12 @@ class POS(ContinuousQuantileAlgorithm):
         all of its duplicates are in the response and the counters can be
         re-seeded exactly.
         """
-        num_nodes = net.num_sensor_nodes
+        num_nodes = self.population(net)
         net.phase = "refinement"
         net.broadcast(2 * VALUE_BITS)  # request: the interval bounds
         contributions = {
             vertex: ValueSetPayload(values=(int(values[vertex]),))
-            for vertex in net.tree.sensor_nodes
+            for vertex in self.participating_sensors(net)
             if low <= int(values[vertex]) <= high
         }
         merged = net.convergecast(contributions)
@@ -260,13 +265,34 @@ class POS(ContinuousQuantileAlgorithm):
         )
         return quantile
 
+    # -- repair hooks (repro.faults.repair) -----------------------------------
+
+    def detach(self, net: TreeNetwork, vertex: int) -> None:
+        super().detach(net, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = False
+        if self._counters is None or self._state is None:
+            return
+        shift_counter(self._counters, int(self._state[vertex]), -1)
+        self._state[vertex] = EQ
+
+    def rejoin(self, net: TreeNetwork, values: np.ndarray, vertex: int) -> None:
+        super().rejoin(net, values, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = True
+        if self._filter is None or self._counters is None or self._state is None:
+            return
+        label = classify(int(values[vertex]), self._filter)
+        shift_counter(self._counters, label, 1)
+        self._state[vertex] = label
+
     # -- helpers --------------------------------------------------------------
 
     def _classify_all(
         self, net: TreeNetwork, values: np.ndarray, filter_value: int
     ) -> np.ndarray:
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         return classify_array(values, filter_value, None, self._mask)
 
     def _transition_contributions(

@@ -39,7 +39,7 @@ class TAG(ContinuousQuantileAlgorithm):
         k = self.rank(net)
         contributions = {
             vertex: ValueSetPayload(values=(int(values[vertex]),), keep=k)
-            for vertex in net.tree.sensor_nodes
+            for vertex in self.participating_sensors(net)
         }
         merged = net.convergecast(contributions)
         if merged is None or not merged.values:

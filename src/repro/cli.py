@@ -111,6 +111,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--churn", type=float, default=0.0,
         help="per-round probability of each live sensor dying permanently",
     )
+    faults.add_argument(
+        "--transient", type=float, default=0.0,
+        help="per-round probability of each up sensor starting a transient "
+        "outage (it comes back after a geometric downtime)",
+    )
+    faults.add_argument(
+        "--downtime", type=float, default=3.0,
+        help="mean rounds a transient outage lasts",
+    )
+    faults.add_argument(
+        "--no-repair", action="store_true",
+        help="disable orphan re-attach and membership patching (PR 2 "
+        "watchdog-only baseline)",
+    )
+    faults.add_argument(
+        "--adaptive-arq", action="store_true",
+        help="replace the static retry sweep with the per-link adaptive "
+        "ARQ controller (one 'adp' cell per loss rate)",
+    )
     faults.add_argument("--nodes", type=int, default=100)
     faults.add_argument("--rounds", type=int, default=60)
     faults.add_argument("--range", type=float, default=35.0, dest="radio_range")
@@ -283,23 +302,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             retry_budgets=tuple(args.retries),
             churn_rate=args.churn,
             burst_length=args.burst,
+            transient_rate=args.transient,
+            transient_downtime=args.downtime,
             num_nodes=args.nodes,
             num_rounds=args.rounds,
             radio_range=args.radio_range,
             seed=args.seed,
             watchdog_patience=args.patience,
+            repair=not args.no_repair,
+            adaptive_arq=args.adaptive_arq,
         )
         loss_kind = (
             f"Gilbert-Elliott bursts (mean length {args.burst:g})"
             if args.burst is not None
             else "i.i.d. loss"
         )
+        repair_kind = "off" if args.no_repair else "on"
         print(
             format_fault_table(
                 result,
                 title=(
                     f"fault injection: {args.nodes} nodes, {args.rounds} "
-                    f"rounds, {loss_kind}, churn={args.churn:g}/round"
+                    f"rounds, {loss_kind}, churn={args.churn:g}/round, "
+                    f"transient={args.transient:g}/round, repair {repair_kind}"
                 ),
             )
         )

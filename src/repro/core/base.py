@@ -125,6 +125,26 @@ class RootCounters:
         return self.position_of_rank(k) == EQ
 
 
+def shift_counter(counters: RootCounters, label: int, delta: int) -> None:
+    """Move ``delta`` measurements into/out of the ``label`` interval.
+
+    Repair-time membership patching: when a node leaves or rejoins the
+    query, the root moves its last-known label out of (or its current label
+    into) the ``(l, e, g)`` counters instead of re-initializing.
+    """
+    if label == LT:
+        counters.l += delta
+    elif label == GT:
+        counters.g += delta
+    else:
+        counters.e += delta
+    if min(counters.l, counters.e, counters.g) < 0:
+        raise ProtocolError(
+            f"membership patch produced negative counts: l={counters.l} "
+            f"e={counters.e} g={counters.g}"
+        )
+
+
 def build_validation(
     net: TreeNetwork,
     values: np.ndarray,
@@ -212,10 +232,100 @@ class ContinuousQuantileAlgorithm(ABC):
     def __init__(self, spec: QuerySpec) -> None:
         self.spec = spec
         self.current_quantile: int | None = None
+        #: Sensors the root considers outside the query (dead, in a
+        #: transient outage, or cut off the root).  Tree repair maintains
+        #: this via :meth:`detach` / :meth:`rejoin`; the rank ``k`` follows
+        #: the shrunken population (Definition 2.1 over the nodes that can
+        #: still report).
+        self._detached_vertices: set[int] = set()
+        #: Membership changed since the last completed round — validation
+        #: hints cannot bound the quantile's move (see
+        #: :meth:`consume_stale_hints`).
+        self._hints_stale = False
+
+    def population(self, net: TreeNetwork) -> int:
+        """Number of sensors currently participating in the query."""
+        return net.num_sensor_nodes - len(self._detached_vertices)
+
+    def participating_sensors(self, net: TreeNetwork) -> tuple[int, ...]:
+        """Sensor nodes currently participating in the query."""
+        if not self._detached_vertices:
+            return net.tree.sensor_nodes
+        return tuple(
+            v for v in net.tree.sensor_nodes if v not in self._detached_vertices
+        )
+
+    def participation_mask(self, net: TreeNetwork) -> np.ndarray:
+        """Like :func:`sensor_mask` but with detached vertices cleared."""
+        mask = sensor_mask(net)
+        for vertex in self._detached_vertices:
+            mask[vertex] = False
+        return mask
 
     def rank(self, net: TreeNetwork) -> int:
-        """The queried rank ``k`` for this network size."""
-        return quantile_rank(net.num_sensor_nodes, self.spec.phi)
+        """The queried rank ``k`` for the current participating population."""
+        return quantile_rank(self.population(net), self.spec.phi)
+
+    def detach(self, net: TreeNetwork, vertex: int) -> None:
+        """Root-side bookkeeping when ``vertex`` leaves the query.
+
+        Called by the repair layer when a node dies, goes into a transient
+        outage, or is cut off the root.  The base implementation shrinks the
+        tracked population so ``k`` keeps following Definition 2.1; exact
+        algorithms additionally patch their counters/state in overrides
+        (which must call ``super().detach(...)`` first).
+        """
+        if vertex in self._detached_vertices:
+            raise ProtocolError(f"vertex {vertex} is already detached")
+        if self.population(net) <= 1:
+            raise ProtocolError("cannot detach the last participating sensor")
+        self._detached_vertices.add(vertex)
+        self._hints_stale = True
+
+    def rejoin(self, net: TreeNetwork, values: np.ndarray, vertex: int) -> None:
+        """Root-side bookkeeping when ``vertex`` rejoins the query.
+
+        The inverse of :meth:`detach`: the node recovered from a transient
+        outage (or was re-attached to the tree) and has been re-synchronized
+        with the current filter, so its value at ``values[vertex]`` counts
+        again.
+        """
+        if vertex not in self._detached_vertices:
+            raise ProtocolError(f"vertex {vertex} is not detached")
+        self._detached_vertices.discard(vertex)
+        self._hints_stale = True
+
+    def reset_participation(
+        self, net: TreeNetwork, detached: "set[int] | frozenset[int]" = frozenset()
+    ) -> None:
+        """Re-plant the query on a partially reachable network.
+
+        Used right after a re-initialization: ``detached`` is the set of
+        sensors the fresh query does not cover (unreachable or down).
+        """
+        detached = set(detached)
+        if net.num_sensor_nodes - len(detached) < 1:
+            raise ProtocolError("no participating sensors left")
+        self._detached_vertices = detached
+        # The caller re-initializes next, which re-seeds exact counters.
+        self._hints_stale = False
+
+    def consume_stale_hints(self) -> bool:
+        """Whether validation hints may under-bound this round's quantile move.
+
+        Hints bound the new quantile only when the filter was invalidated by
+        *value transitions*: a node that crosses the filter reports its value,
+        so the k-th value cannot have moved past the extreme reported hint.
+        A membership change (:meth:`detach` / :meth:`rejoin`) shifts the rank
+        counters without any node transitioning, so the new quantile can lie
+        outside every hint — refinement must fall back to the universe bounds
+        for one round.  Consuming clears the flag: once a round completes, the
+        filter is exact for the current membership and hints are trustworthy
+        again.
+        """
+        stale = self._hints_stale
+        self._hints_stale = False
+        return stale
 
     @abstractmethod
     def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
@@ -227,7 +337,10 @@ class ContinuousQuantileAlgorithm(ABC):
 
 
 def tag_initialization(
-    net: TreeNetwork, values: np.ndarray, k: int
+    net: TreeNetwork,
+    values: np.ndarray,
+    k: int,
+    participants: tuple[int, ...] | None = None,
 ) -> tuple[int, RootCounters, tuple[int, ...]]:
     """TAG-style first round shared by POS, HBC and IQ (Sections 3.2, 4.2.1).
 
@@ -238,12 +351,19 @@ def tag_initialization(
 
     Returns the quantile, the seeded root counters and the ascending tuple
     of the ``k`` smallest values (IQ uses it to initialize Ξ).
+
+    ``participants`` restricts the collection to the sensors currently in
+    the query (defaults to all of them); the ``g`` counter is seeded from
+    their count so it stays consistent under churn/outages.
     """
+    if participants is None:
+        participants = net.tree.sensor_nodes
+    population = len(participants)
     net.phase = "initialization"
     net.broadcast(VALUE_BITS)  # query dissemination: k
     contributions = {
         vertex: ValueSetPayload(values=(int(values[vertex]),), keep=k)
-        for vertex in net.tree.sensor_nodes
+        for vertex in participants
     }
     merged = net.convergecast(contributions)
     if merged is None or len(merged.values) < k:
@@ -252,7 +372,5 @@ def tag_initialization(
     quantile = smallest[k - 1]
     less = sum(1 for value in smallest if value < quantile)
     equal = sum(1 for value in smallest if value == quantile)
-    counters = RootCounters(
-        l=less, e=equal, g=net.num_sensor_nodes - less - equal
-    )
+    counters = RootCounters(l=less, e=equal, g=population - less - equal)
     return quantile, counters, smallest

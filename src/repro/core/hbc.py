@@ -36,8 +36,9 @@ from repro.core.base import (
     RootCounters,
     build_validation,
     classify_array,
+    classify_interval,
     hint_bounds,
-    sensor_mask,
+    shift_counter,
     tag_initialization,
 )
 from repro.core.cost_model import exact_optimal_buckets, rounded_optimal_buckets
@@ -97,7 +98,9 @@ class HBC(ContinuousQuantileAlgorithm):
 
     def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
         k = self.rank(net)
-        quantile, counters, _ = tag_initialization(net, values, k)
+        quantile, counters, _ = tag_initialization(
+            net, values, k, participants=self.participating_sensors(net)
+        )
         net.phase = "filter"
         net.broadcast(VALUE_BITS)  # filter dissemination
         self._set_interval(net, values, quantile, quantile, counters)
@@ -108,6 +111,7 @@ class HBC(ContinuousQuantileAlgorithm):
         if self._low is None or self._high is None:
             raise ProtocolError("update() called before initialize()")
         assert self._counters is not None and self._state is not None
+        hints_stale = self.consume_stale_hints()
         k = self.rank(net)
         new_state = self._classify_all(net, values, self._low, self._high)
         contributions = build_validation(
@@ -127,9 +131,12 @@ class HBC(ContinuousQuantileAlgorithm):
             self.current_quantile = self._low
             return RoundOutcome(quantile=self._low)
 
-        hint_low, hint_high = hint_bounds(
-            merged, self._low, self._high, self.spec, symmetric=True
-        )
+        if hints_stale:
+            hint_low, hint_high = self.spec.r_min, self.spec.r_max
+        else:
+            hint_low, hint_high = hint_bounds(
+                merged, self._low, self._high, self.spec, symmetric=True
+            )
         below_low: int | None
         above_high: int | None
         if position == GT:
@@ -184,7 +191,7 @@ class HBC(ContinuousQuantileAlgorithm):
         One of ``below_low``/``above_high`` may start unknown (hint-derived
         bound); the first histogram response makes both exact.
         """
-        num_nodes = net.num_sensor_nodes
+        num_nodes = self.population(net)
         refinements = 0
         while True:
             inside_estimate = (num_nodes - (above_high or 0)) - (below_low or 0)
@@ -256,7 +263,7 @@ class HBC(ContinuousQuantileAlgorithm):
         net.phase = "filter"
         net.broadcast(VALUE_BITS)
         counters = RootCounters(
-            l=less, e=equal, g=net.num_sensor_nodes - less - equal
+            l=less, e=equal, g=self.population(net) - less - equal
         )
         self._set_interval(net, values, quantile, quantile, counters)
         return RoundOutcome(
@@ -275,12 +282,12 @@ class HBC(ContinuousQuantileAlgorithm):
         refinements: int,
     ) -> RoundOutcome:
         """Raw-value shortcut; always ends with a filter broadcast."""
-        num_nodes = net.num_sensor_nodes
+        num_nodes = self.population(net)
         net.phase = "refinement"
         net.broadcast(2 * VALUE_BITS)
         contributions = {
             vertex: ValueSetPayload(values=(int(values[vertex]),))
-            for vertex in net.tree.sensor_nodes
+            for vertex in self.participating_sensors(net)
             if low <= int(values[vertex]) <= high
         }
         merged = net.convergecast(contributions)
@@ -315,13 +322,35 @@ class HBC(ContinuousQuantileAlgorithm):
             filter_broadcast=True,
         )
 
+    # -- repair hooks (repro.faults.repair) -----------------------------------
+
+    def detach(self, net: TreeNetwork, vertex: int) -> None:
+        super().detach(net, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = False
+        if self._counters is None or self._state is None:
+            return
+        shift_counter(self._counters, int(self._state[vertex]), -1)
+        self._state[vertex] = EQ
+
+    def rejoin(self, net: TreeNetwork, values: np.ndarray, vertex: int) -> None:
+        super().rejoin(net, values, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = True
+        if self._low is None or self._high is None:
+            return
+        assert self._counters is not None and self._state is not None
+        label = classify_interval(int(values[vertex]), self._low, self._high)
+        shift_counter(self._counters, label, 1)
+        self._state[vertex] = label
+
     # -- node-side helpers ----------------------------------------------------
 
     def _collect_histogram(
         self, net: TreeNetwork, values: np.ndarray, grid: BucketGrid
     ) -> tuple[int, ...]:
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         inside = self._mask & (values >= grid.low) & (values <= grid.high)
         contributions: dict[int, HistogramPayload] = {}
         for vertex in np.flatnonzero(inside):
@@ -340,7 +369,7 @@ class HBC(ContinuousQuantileAlgorithm):
         self, net: TreeNetwork, values: np.ndarray, low: int, high: int
     ) -> np.ndarray:
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         return classify_array(values, low, high, self._mask)
 
     def _set_interval(

@@ -30,9 +30,10 @@ from repro.core.base import (
     GT,
     ContinuousQuantileAlgorithm,
     RootCounters,
+    classify,
     classify_array,
     hint_bounds,
-    sensor_mask,
+    shift_counter,
     tag_initialization,
 )
 from repro.core.payloads import ValidationPayload, ValueSetPayload
@@ -84,7 +85,9 @@ class IQ(ContinuousQuantileAlgorithm):
 
     def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
         k = self.rank(net)
-        quantile, counters, smallest = tag_initialization(net, values, k)
+        quantile, counters, smallest = tag_initialization(
+            net, values, k, participants=self.participating_sensors(net)
+        )
         xi_seed = initial_xi(smallest, policy=self.xi_init, scale=self.xi_scale)
         net.phase = "filter"
         net.broadcast(2 * VALUE_BITS)  # filter broadcast: (v_k, xi)
@@ -98,6 +101,7 @@ class IQ(ContinuousQuantileAlgorithm):
     def update(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
         if self._tracker is None or self._counters is None or self._state is None:
             raise ProtocolError("update() called before initialize()")
+        hints_stale = self.consume_stale_hints()
         k = self.rank(net)
         old_quantile = self._tracker.current_quantile
         band_low, band_high = self._tracker.band()
@@ -115,12 +119,14 @@ class IQ(ContinuousQuantileAlgorithm):
             refined = False
         elif position == GT:
             quantile, refined = self._resolve_up(
-                net, values, k, old_quantile, band_high, received_a, merged
+                net, values, k, old_quantile, band_high, received_a, merged,
+                hints_stale,
             )
             outcome = self._broadcast_filter(quantile, refined)
         else:
             quantile, refined = self._resolve_down(
-                net, values, k, old_quantile, band_low, received_a, merged
+                net, values, k, old_quantile, band_low, received_a, merged,
+                hints_stale,
             )
             outcome = self._broadcast_filter(quantile, refined)
 
@@ -184,7 +190,7 @@ class IQ(ContinuousQuantileAlgorithm):
         """POS-style counters plus the multiset ``A`` of values inside Ξ."""
         assert self._state is not None
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         new_state = classify_array(values, old_quantile, None, self._mask)
         in_band_mask = (
             self._mask
@@ -225,6 +231,7 @@ class IQ(ContinuousQuantileAlgorithm):
         band_low: int,
         received_a: tuple[int, ...],
         merged: ValidationPayload | None,
+        hints_stale: bool = False,
     ) -> tuple[int, bool]:
         """The new quantile lies below the old one (``l >= k``)."""
         counters = self._counters
@@ -236,7 +243,7 @@ class IQ(ContinuousQuantileAlgorithm):
             less = below_band + sum(1 for x in received_a if x < quantile)
             equal = sum(1 for x in received_a if x == quantile)
             self._counters = RootCounters(
-                l=less, e=equal, g=net.num_sensor_nodes - less - equal
+                l=less, e=equal, g=self.population(net) - less - equal
             )
             return quantile, False
 
@@ -244,7 +251,9 @@ class IQ(ContinuousQuantileAlgorithm):
         hint_low, _ = hint_bounds(
             merged, old_quantile, old_quantile, self.spec, symmetric=True
         )
-        low_bound = hint_low if self.use_hints else self.spec.r_min
+        low_bound = (
+            hint_low if self.use_hints and not hints_stale else self.spec.r_min
+        )
         received = self._refinement(
             net, values, low_bound, band_low - 1, fetch, keep_largest=True
         )
@@ -256,7 +265,7 @@ class IQ(ContinuousQuantileAlgorithm):
         less = below_band - len(received)
         equal = sum(1 for x in received if x == quantile)
         self._counters = RootCounters(
-            l=less, e=equal, g=net.num_sensor_nodes - less - equal
+            l=less, e=equal, g=self.population(net) - less - equal
         )
         return quantile, True
 
@@ -269,6 +278,7 @@ class IQ(ContinuousQuantileAlgorithm):
         band_high: int,
         received_a: tuple[int, ...],
         merged: ValidationPayload | None,
+        hints_stale: bool = False,
     ) -> tuple[int, bool]:
         """The new quantile lies above the old one (``l + e < k``)."""
         counters = self._counters
@@ -286,7 +296,7 @@ class IQ(ContinuousQuantileAlgorithm):
             )
             equal = sum(1 for x in received_a if x == quantile)
             self._counters = RootCounters(
-                l=less, e=equal, g=net.num_sensor_nodes - less - equal
+                l=less, e=equal, g=self.population(net) - less - equal
             )
             return quantile, False
 
@@ -294,7 +304,9 @@ class IQ(ContinuousQuantileAlgorithm):
         _, hint_high = hint_bounds(
             merged, old_quantile, old_quantile, self.spec, symmetric=True
         )
-        high_bound = hint_high if self.use_hints else self.spec.r_max
+        high_bound = (
+            hint_high if self.use_hints and not hints_stale else self.spec.r_max
+        )
         received = self._refinement(
             net, values, band_high + 1, high_bound, fetch, keep_largest=False
         )
@@ -306,7 +318,7 @@ class IQ(ContinuousQuantileAlgorithm):
         less = at_most_band + sum(1 for x in received if x < quantile)
         equal = sum(1 for x in received if x == quantile)
         self._counters = RootCounters(
-            l=less, e=equal, g=net.num_sensor_nodes - less - equal
+            l=less, e=equal, g=self.population(net) - less - equal
         )
         return quantile, True
 
@@ -328,11 +340,32 @@ class IQ(ContinuousQuantileAlgorithm):
             vertex: ValueSetPayload(
                 values=(int(values[vertex]),), keep=fetch, keep_largest=keep_largest
             )
-            for vertex in net.tree.sensor_nodes
+            for vertex in self.participating_sensors(net)
             if low <= int(values[vertex]) <= high
         }
         merged = net.convergecast(contributions)
         return merged.values if merged is not None else ()
+
+    # -- repair hooks (repro.faults.repair) -----------------------------------
+
+    def detach(self, net: TreeNetwork, vertex: int) -> None:
+        super().detach(net, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = False
+        if self._counters is None or self._state is None:
+            return
+        shift_counter(self._counters, int(self._state[vertex]), -1)
+        self._state[vertex] = EQ
+
+    def rejoin(self, net: TreeNetwork, values: np.ndarray, vertex: int) -> None:
+        super().rejoin(net, values, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = True
+        if self._tracker is None or self._counters is None or self._state is None:
+            return
+        label = classify(int(values[vertex]), self._tracker.current_quantile)
+        shift_counter(self._counters, label, 1)
+        self._state[vertex] = label
 
     # -- helpers --------------------------------------------------------------
 
@@ -347,7 +380,7 @@ class IQ(ContinuousQuantileAlgorithm):
         self, net: TreeNetwork, values: np.ndarray, filter_value: int
     ) -> np.ndarray:
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         return classify_array(values, filter_value, None, self._mask)
 
     def _record(

@@ -31,11 +31,12 @@ import numpy as np
 
 from repro.constants import REFINEMENT_REQUEST_BITS, VALUE_BITS
 from repro.core.base import (
+    EQ,
     GT,
     LT,
     ContinuousQuantileAlgorithm,
+    classify,
     classify_array,
-    sensor_mask,
 )
 from repro.core.payloads import ValidationPayload
 from repro.errors import ConfigurationError, ProtocolError
@@ -139,7 +140,7 @@ class SketchQuantile(ContinuousQuantileAlgorithm):
             )
         self._state = new_state
 
-        if self._worst_case_error(k) <= self.eps * net.num_sensor_nodes:
+        if self._worst_case_error(k) <= self.eps * self.population(net):
             self.current_quantile = self._filter
             return RoundOutcome(quantile=self._filter)
 
@@ -172,7 +173,7 @@ class SketchQuantile(ContinuousQuantileAlgorithm):
         net.phase = "collection"
         contributions = {
             vertex: SketchPayload(self._local_sketch(int(values[vertex]), vertex))
-            for vertex in net.tree.sensor_nodes
+            for vertex in self.participating_sensors(net)
         }
         merged = net.convergecast(contributions)
         if merged is None:
@@ -210,12 +211,47 @@ class SketchQuantile(ContinuousQuantileAlgorithm):
         self._filter = quantile
         l_lo, l_hi = sketch.rank_bounds(quantile)
         le_lo, le_hi = sketch.rank_bounds(quantile + 1)
-        missing = max(0, net.num_sensor_nodes - sketch.n)
+        missing = max(0, self.population(net) - sketch.n)
         self._l_bounds = (l_lo, l_hi + missing)
         self._le_bounds = (le_lo, le_hi + missing)
         if self._mask is None:
-            self._mask = sensor_mask(net)
+            self._mask = self.participation_mask(net)
         self._state = classify_array(values, quantile, None, self._mask)
+
+    # -- repair hooks (repro.faults.repair) -----------------------------------
+
+    def detach(self, net: TreeNetwork, vertex: int) -> None:
+        super().detach(net, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = False
+        if self._state is None:
+            return
+        assert self._l_bounds is not None and self._le_bounds is not None
+        # The departing node's label was tracked exactly, so the sound rank
+        # bounds shift exactly: a value < f leaves #{< f} and #{<= f}, a
+        # value == f leaves only #{<= f}, a value > f leaves neither.
+        label = int(self._state[vertex])
+        if label == LT:
+            self._l_bounds = (self._l_bounds[0] - 1, self._l_bounds[1] - 1)
+        if label in (LT, EQ):
+            self._le_bounds = (self._le_bounds[0] - 1, self._le_bounds[1] - 1)
+        self._state[vertex] = EQ
+        self._l_bounds = (max(0, self._l_bounds[0]), max(0, self._l_bounds[1]))
+        self._le_bounds = (max(0, self._le_bounds[0]), max(0, self._le_bounds[1]))
+
+    def rejoin(self, net: TreeNetwork, values: np.ndarray, vertex: int) -> None:
+        super().rejoin(net, values, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = True
+        if self._state is None or self._filter is None:
+            return
+        assert self._l_bounds is not None and self._le_bounds is not None
+        label = classify(int(values[vertex]), self._filter)
+        if label == LT:
+            self._l_bounds = (self._l_bounds[0] + 1, self._l_bounds[1] + 1)
+        if label in (LT, EQ):
+            self._le_bounds = (self._le_bounds[0] + 1, self._le_bounds[1] + 1)
+        self._state[vertex] = label
 
     def _transition_contributions(
         self, old_state: np.ndarray, new_state: np.ndarray

@@ -71,19 +71,21 @@ def format_fault_table(
         lines.append(title)
     lines.append(
         f"{'algorithm':10s} {'loss':>6s} {'retry':>6s} {'exact':>7s} "
-        f"{'rank-err':>9s} {'val-err':>8s} {'reinit':>7s} {'fail':>6s} "
-        f"{'cover':>6s} {'hotE [mJ]':>10s} {'lost':>6s} {'retx':>6s} "
-        f"{'alive':>6s}"
+        f"{'rank-err':>9s} {'val-err':>8s} {'reinit':>7s} {'reatt':>6s} "
+        f"{'fail':>6s} {'cover':>6s} {'hotE [mJ]':>10s} {'repE [mJ]':>10s} "
+        f"{'lost':>6s} {'retx':>6s} {'alive':>6s}"
     )
     algorithms = list(dict.fromkeys(p.algorithm for p in result.points))
     for name in algorithms:
         for p in result.series(name):
             lines.append(
-                f"{p.algorithm:10s} {p.loss_rate:6.2f} {p.retries:6d} "
+                f"{p.algorithm:10s} {p.loss_rate:6.2f} {str(p.retries):>6s} "
                 f"{p.exact_fraction:7.2f} {p.mean_rank_error:9.2f} "
                 f"{p.mean_value_error:8.2f} {p.reinit_count:7d} "
+                f"{p.reattach_count:6d} "
                 f"{p.failure_rate:6.2f} {p.delivered_fraction:6.2f} "
-                f"{p.hotspot_energy_mj:10.4f} {p.lost_transmissions:6d} "
+                f"{p.hotspot_energy_mj:10.4f} {p.repair_energy_mj:10.4f} "
+                f"{p.lost_transmissions:6d} "
                 f"{p.retransmissions:6d} {p.survivors:6d}"
             )
     return "\n".join(lines)

@@ -5,35 +5,53 @@ sketch) runs under injected faults: :class:`FaultyTreeNetwork` plugs a
 :class:`FaultPlan` into the engine's fault hooks, :class:`ArqPolicy` adds
 per-hop acknowledgements with a bounded retry budget, and
 :class:`RootWatchdog` turns persistently silent subtrees into measured
-re-initializations.  ``run_fault_experiment`` sweeps all of it; the old
+re-initializations.  :class:`TreeRepair` reacts *before* the watchdog has
+to: orphaned subtrees re-attach to in-range neighbours and transient
+leavers are detached from / rejoined to the query with their filters
+intact, while :class:`AdaptiveArqPolicy` tunes each link's retry budget to
+its observed loss.  ``run_fault_experiment`` sweeps all of it (the
+:class:`FaultDriver` round loop is steppable by tests); the old
 ``extensions.loss`` API remains as a thin view.
 """
 
 from repro.faults.experiment import (
+    FaultDriver,
     FaultExperimentResult,
     FaultSeriesPoint,
     LossExperimentResult,
     LossSeriesPoint,
+    RoundReport,
     fault_lineup,
     insertion_rank_error,
     run_fault_experiment,
     run_loss_experiment,
 )
-from repro.faults.network import ArqPolicy, FaultyTreeNetwork, LossyTreeNetwork
+from repro.faults.network import (
+    AdaptiveArqPolicy,
+    ArqPolicy,
+    FaultyTreeNetwork,
+    LossyTreeNetwork,
+)
 from repro.faults.plan import (
     ChurnModel,
     FaultPlan,
     GilbertElliottLoss,
     IndependentLoss,
     LinkLossModel,
+    OutageModel,
     RandomChurn,
+    RandomOutages,
     ScheduledChurn,
+    ScheduledOutages,
 )
+from repro.faults.repair import RepairRound, RepairStats, TreeRepair
 from repro.faults.watchdog import RootWatchdog
 
 __all__ = [
+    "AdaptiveArqPolicy",
     "ArqPolicy",
     "ChurnModel",
+    "FaultDriver",
     "FaultExperimentResult",
     "FaultPlan",
     "FaultSeriesPoint",
@@ -44,9 +62,16 @@ __all__ = [
     "LossExperimentResult",
     "LossSeriesPoint",
     "LossyTreeNetwork",
+    "OutageModel",
     "RandomChurn",
+    "RandomOutages",
+    "RepairRound",
+    "RepairStats",
     "RootWatchdog",
+    "RoundReport",
     "ScheduledChurn",
+    "ScheduledOutages",
+    "TreeRepair",
     "fault_lineup",
     "insertion_rank_error",
     "run_fault_experiment",

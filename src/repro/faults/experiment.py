@@ -6,20 +6,31 @@ only the exact algorithms under i.i.d. convergecast loss) along three axes:
 * **algorithms** — every algorithm runs, including the sketch track
   (``SK1``/``SKQ``), whose rank bounds widen gracefully when subtrees go
   missing instead of silently pretending full coverage;
-* **faults** — i.i.d. loss, Gilbert–Elliott burst loss and permanent node
-  churn, all through one :class:`~repro.faults.plan.FaultPlan`;
-* **recovery** — per-hop ARQ (:class:`~repro.faults.network.ArqPolicy`)
-  with energy charged per attempt, and a root-side
-  :class:`~repro.faults.watchdog.RootWatchdog` that turns protocol
-  breakdowns and silent subtrees into *measured* re-initializations (the
-  TAG re-init broadcast + convergecast is charged to the ledger in the
-  round it happens) instead of unhandled exceptions.
+* **faults** — i.i.d. loss, Gilbert–Elliott burst loss, permanent node
+  churn and *transient outages* (nodes that go down and come back), all
+  through one :class:`~repro.faults.plan.FaultPlan`;
+* **recovery** — per-hop ARQ with a static or per-link *adaptive* retry
+  budget (:class:`~repro.faults.network.ArqPolicy` /
+  :class:`~repro.faults.network.AdaptiveArqPolicy`), energy charged per
+  attempt; tree repair (:class:`~repro.faults.repair.TreeRepair`) that
+  re-attaches orphaned subtrees and patches the query membership instead
+  of restarting; and a root-side
+  :class:`~repro.faults.watchdog.RootWatchdog` as the last resort, its
+  re-initializations *measured* (the TAG re-init broadcast + convergecast
+  is charged to the ledger in the round it happens) instead of unhandled
+  exceptions.
+
+The round loop lives in :class:`FaultDriver` so tests can drive it one
+round at a time — the differential invariant harness in ``tests/helpers.py``
+steps a driver and checks the root's answer against an oracle on every
+*trustworthy* round (see :attr:`RoundReport.trustworthy`).
 
 Per (algorithm, loss rate, retry budget) cell the study reports the
 exact-answer fraction, mean rank/value error against the *live* population,
-protocol-failure and re-initialization counts, full-collection delivery
-coverage, and the hotspot (max per-node mean round) energy — the columns
-``repro faults`` and ``benchmarks/bench_faults.py`` print.
+protocol-failure, re-initialization and re-attach counts, repair energy,
+full-collection delivery coverage, and the hotspot (max per-node mean
+round) energy — the columns ``repro faults`` and
+``benchmarks/bench_faults.py`` print.
 """
 
 from __future__ import annotations
@@ -31,17 +42,23 @@ import numpy as np
 from repro.datasets.synthetic import SyntheticWorkload
 from repro.errors import ProtocolError
 from repro.experiments.config import AlgorithmFactory, sketch_algorithms
-from repro.faults.network import ArqPolicy, FaultyTreeNetwork
+from repro.faults.network import (
+    AdaptiveArqPolicy,
+    ArqPolicy,
+    FaultyTreeNetwork,
+)
 from repro.faults.plan import (
     FaultPlan,
     GilbertElliottLoss,
     IndependentLoss,
     LinkLossModel,
     RandomChurn,
+    RandomOutages,
 )
+from repro.faults.repair import RepairRound, TreeRepair
 from repro.faults.watchdog import RootWatchdog
 from repro.network.routing import build_routing_tree
-from repro.network.topology import connected_random_graph
+from repro.network.topology import PhysicalGraph, connected_random_graph
 from repro.network.tree import RoutingTree
 from repro.radio.energy import EnergyModel
 from repro.radio.ledger import EnergyLedger
@@ -82,7 +99,8 @@ class FaultSeriesPoint:
 
     algorithm: str
     loss_rate: float
-    retries: int
+    #: Static retry budget, or ``"adp"`` for the adaptive per-link policy.
+    retries: int | str
     churn_rate: float
     rounds: int
     exact_fraction: float
@@ -98,8 +116,16 @@ class FaultSeriesPoint:
     hotspot_energy_mj: float
     lost_transmissions: int
     retransmissions: int
-    #: Sensors still alive after the last round (== all without churn).
+    #: Sensors not permanently dead after the last round.
     survivors: int
+    #: Orphaned subtrees successfully re-attached by the repair layer.
+    reattach_count: int = 0
+    #: Watchdog re-initializations cancelled because a repair landed first.
+    cancelled_reinits: int = 0
+    #: Energy [mJ] spent on repair traffic (probes, adopts, reports).
+    repair_energy_mj: float = 0.0
+    #: Per-round probability of a transient outage starting.
+    transient_rate: float = 0.0
 
 
 @dataclass
@@ -111,10 +137,10 @@ class FaultExperimentResult:
     def series(self, algorithm: str) -> list[FaultSeriesPoint]:
         """One algorithm's cells, ordered by (loss rate, retry budget)."""
         selected = [p for p in self.points if p.algorithm == algorithm]
-        return sorted(selected, key=lambda p: (p.loss_rate, p.retries))
+        return sorted(selected, key=lambda p: (p.loss_rate, str(p.retries)))
 
     def cell(
-        self, algorithm: str, loss_rate: float, retries: int
+        self, algorithm: str, loss_rate: float, retries: int | str
     ) -> FaultSeriesPoint:
         """The single cell for one (algorithm, loss, retries) setting."""
         for point in self.points:
@@ -127,17 +153,292 @@ class FaultExperimentResult:
         raise KeyError(f"no cell ({algorithm!r}, {loss_rate}, {retries})")
 
 
+@dataclass(frozen=True)
+class RoundReport:
+    """What one driver round produced (for tests and invariant harnesses)."""
+
+    round_index: int
+    #: The root's answer this round (None only while initialization drowns).
+    answer: int | None
+    #: Sensors that are up this round.
+    live: tuple[int, ...]
+    #: Sensors the root's query currently covers (live minus detached).
+    participating: tuple[int, ...]
+    reinitialized: bool
+    failed: bool
+    #: The repair pass, when a repair layer is attached.
+    repair: RepairRound | None
+    #: True when the root's state is provably in sync: initialized, every
+    #: convergecast since the last (re-)initialization delivered fully, no
+    #: protocol failure this round, and the root's membership view matches
+    #: physical reachability.  On trustworthy rounds an *exact* algorithm's
+    #: answer must equal the oracle over the participating population.
+    trustworthy: bool
+
+
+class FaultDriver:
+    """One algorithm's round loop under a fault plan, steppable by tests.
+
+    Owns the network, ledger, watchdog and (optionally) the tree-repair
+    layer, and reproduces the recovery policy of the fault study:
+
+    1. at round start the repair layer re-attaches orphans and patches the
+       query membership (detach/rejoin);
+    2. a repair fallback (orphan with no candidate parent) or a watchdog
+       recommendation schedules a re-initialization; a successful re-attach
+       *cancels* a pending watchdog re-init (the repair already fixed what
+       the watchdog noticed);
+    3. :class:`~repro.errors.ProtocolError` re-initializes immediately,
+       charged in the same round.
+    """
+
+    def __init__(
+        self,
+        factory: AlgorithmFactory,
+        spec: QuerySpec,
+        tree: RoutingTree,
+        workload: SyntheticWorkload,
+        plan: FaultPlan,
+        arq: ArqPolicy | None = None,
+        *,
+        graph: PhysicalGraph | None = None,
+        repair: bool = True,
+        radio_range: float = 35.0,
+        watchdog_patience: int = 2,
+    ) -> None:
+        self.factory = factory
+        self.spec = spec
+        self.workload = workload
+        self.ledger = EnergyLedger(
+            tree.num_vertices, tree.root, EnergyModel(), radio_range
+        )
+        self.net = FaultyTreeNetwork(tree, self.ledger, plan=plan, arq=arq)
+        self.watchdog = RootWatchdog(tree, patience=watchdog_patience)
+        self.repair: TreeRepair | None = None
+        if repair and graph is not None:
+            self.repair = TreeRepair(graph, self.net, self.watchdog)
+        self.algorithm = factory(spec)
+        self.last_answer: int | None = None
+        self.reinits = 0
+        self.cancelled_reinits = 0
+        self.failures = 0
+        self.exact = 0
+        self.rounds_run = 0
+        self.rank_errors: list[int] = []
+        self.value_errors: list[int] = []
+        self.coverages: list[float] = []
+        self._initialized = False
+        self._scheduled_reinit = False
+        self._tainted = False
+
+    # -- membership views -----------------------------------------------------
+
+    def participating(self, live: tuple[int, ...]) -> tuple[int, ...]:
+        """Live sensors the root's query currently covers."""
+        if self.repair is None:
+            return live
+        detached = self.repair.detached
+        return tuple(v for v in live if v not in detached)
+
+    # -- the round loop -------------------------------------------------------
+
+    def step(self, round_index: int) -> RoundReport | None:
+        """Run one round; ``None`` means every sensor died (stop the loop)."""
+        net = self.net
+        net.begin_faults_round(round_index)
+        live = net.live_sensor_nodes()
+        if not live:
+            return None
+        values = np.asarray(self.workload.values(round_index))
+        self.ledger.begin_round()
+        log_start = len(net.collection_log)
+        failed = reinitialized = False
+        repair_record: RepairRound | None = None
+        try:
+            if self.repair is not None:
+                repair_record = self.repair.repair_round(self.algorithm, values)
+                if repair_record.fallback:
+                    # An orphan found no parent in range: the subtree is cut
+                    # off and only a watchdog-style re-init resynchronizes.
+                    self._scheduled_reinit = True
+                elif self._scheduled_reinit and repair_record.reattached:
+                    # The repair restored the very subtree the watchdog was
+                    # complaining about — don't also re-initialize on top.
+                    self._scheduled_reinit = False
+                    self.cancelled_reinits += 1
+            if not self._initialized or self._scheduled_reinit:
+                if round_index > 0:
+                    self.algorithm = self.factory(self.spec)
+                    self.reinits += 1
+                    reinitialized = True
+                if self.repair is not None:
+                    self.repair.resync_after_reinit(self.algorithm)
+                outcome = self.algorithm.initialize(net, values)
+                self._initialized = True
+                self._scheduled_reinit = False
+                self._tainted = False
+            else:
+                outcome = self.algorithm.update(net, values)
+            self.last_answer = outcome.quantile
+        except ProtocolError:
+            # Loss/churn drove the protocol state into an impossible
+            # configuration.  Re-synchronize from scratch *in this round*:
+            # the re-init broadcast + convergecast is real traffic and is
+            # charged to the open ledger round like everything else.
+            failed = True
+            self.failures += 1
+            self.algorithm = self.factory(self.spec)
+            if self.repair is not None:
+                self.repair.resync_after_reinit(self.algorithm)
+            try:
+                outcome = self.algorithm.initialize(net, values)
+                self.reinits += 1
+                reinitialized = True
+                self._initialized = True
+                self._scheduled_reinit = False
+                self._tainted = False
+                self.last_answer = outcome.quantile
+            except ProtocolError:
+                self._scheduled_reinit = True  # even the re-init drowned
+        self.ledger.end_round()
+        self.rounds_run += 1
+
+        participating = self.participating(live)
+        round_records = net.collection_log[log_start:]
+        if any(r.coverage < 1.0 for r in round_records if r.expected > 0):
+            # Something since the last (re-)init failed to arrive — the
+            # root's continuous state may have silently diverged.
+            self._tainted = True
+
+        # Root-side watchdog: full collections tell the root who is gone.
+        reinit_wanted = False
+        full_records = [
+            record
+            for record in round_records
+            if self.watchdog.is_full_collection(record, len(participating))
+        ]
+        self.coverages.extend(record.coverage for record in full_records)
+        if full_records:
+            if reinitialized:
+                self.watchdog.adopt(full_records[-1])
+            else:
+                for record in full_records:
+                    reinit_wanted |= self.watchdog.observe(record)
+        if reinit_wanted:
+            self._scheduled_reinit = True  # re-initialization, next round
+
+        # Accuracy against the live population's quantile.
+        live_values = values[list(live)]
+        k_live = quantile_rank(len(live), self.spec.phi)
+        truth = exact_quantile(live_values, k_live)
+        answer = self.last_answer if self.last_answer is not None else truth
+        self.exact += int(answer == truth)
+        self.value_errors.append(abs(answer - truth))
+        self.rank_errors.append(
+            insertion_rank_error(live_values, answer, k_live)
+        )
+
+        return RoundReport(
+            round_index=round_index,
+            answer=self.last_answer,
+            live=live,
+            participating=participating,
+            reinitialized=reinitialized,
+            failed=failed,
+            repair=repair_record,
+            trustworthy=self._trustworthy(failed, live),
+        )
+
+    def run(self, num_rounds: int) -> list[RoundReport]:
+        """Run the full loop; stops early if every sensor dies."""
+        reports: list[RoundReport] = []
+        for round_index in range(num_rounds):
+            report = self.step(round_index)
+            if report is None:
+                break
+            reports.append(report)
+        return reports
+
+    def _trustworthy(self, failed: bool, live: tuple[int, ...]) -> bool:
+        if failed or self._tainted or not self._initialized:
+            return False
+        if self._scheduled_reinit:
+            return False
+        plan = self.net.plan
+        if self.repair is None:
+            # Without a repair layer the root has no membership view at
+            # all; only a completely fault-free network keeps it in sync.
+            return not any(
+                plan.is_down(v) for v in self.net.tree.sensor_nodes
+            )
+        return set(self.participating(live)) == set(
+            self.repair.reachable_sensors()
+        )
+
+    def point(
+        self,
+        name: str,
+        loss: float,
+        churn_rate: float,
+        transient_rate: float,
+    ) -> FaultSeriesPoint:
+        """Summarize the completed run as one study cell."""
+        rounds_run = max(self.rounds_run, 1)
+        plan = self.net.plan
+        survivors = sum(
+            1 for v in self.net.tree.sensor_nodes if not plan.is_dead(v)
+        )
+        repair_stats = self.repair.stats if self.repair is not None else None
+        return FaultSeriesPoint(
+            algorithm=name,
+            loss_rate=loss,
+            retries=self.net.arq.label,
+            churn_rate=churn_rate,
+            rounds=rounds_run,
+            exact_fraction=self.exact / rounds_run,
+            mean_rank_error=(
+                float(np.mean(self.rank_errors)) if self.rank_errors else 0.0
+            ),
+            mean_value_error=(
+                float(np.mean(self.value_errors)) if self.value_errors else 0.0
+            ),
+            reinit_count=self.reinits,
+            failure_rate=self.failures / rounds_run,
+            delivered_fraction=(
+                float(np.mean(self.coverages)) if self.coverages else 1.0
+            ),
+            hotspot_energy_mj=self.ledger.max_mean_round_energy() * 1e3,
+            lost_transmissions=self.net.lost_transmissions,
+            retransmissions=self.net.retransmissions,
+            survivors=survivors,
+            reattach_count=(
+                repair_stats.reattach_count if repair_stats is not None else 0
+            ),
+            cancelled_reinits=self.cancelled_reinits,
+            repair_energy_mj=(
+                repair_stats.repair_energy_j * 1e3
+                if repair_stats is not None
+                else 0.0
+            ),
+            transient_rate=transient_rate,
+        )
+
+
 def run_fault_experiment(
     algorithms: dict[str, AlgorithmFactory],
     loss_rates: tuple[float, ...] = (0.0, 0.05, 0.1),
     retry_budgets: tuple[int, ...] = (0, 2),
     churn_rate: float = 0.0,
     burst_length: float | None = None,
+    transient_rate: float = 0.0,
+    transient_downtime: float = 3.0,
     num_nodes: int = 100,
     num_rounds: int = 60,
     radio_range: float = 35.0,
     seed: int = 20140324,
     watchdog_patience: int = 2,
+    repair: bool = True,
+    adaptive_arq: bool = False,
 ) -> FaultExperimentResult:
     """Sweep every algorithm over loss rates x retry budgets.
 
@@ -146,11 +447,17 @@ def run_fault_experiment(
     network and measurement series — the retry axis isolates the ARQ
     effect.  ``burst_length`` switches the loss process from i.i.d. to a
     Gilbert–Elliott chain matched to the same average rate.
+    ``transient_rate`` adds per-round transient outages (geometric
+    downtimes of mean ``transient_downtime``); ``adaptive_arq`` replaces
+    the static retry sweep with one adaptive per-link policy per cell;
+    ``repair=False`` disables orphan re-attach and membership patching,
+    leaving the PR 2 watchdog-only baseline.
     """
     points: list[FaultSeriesPoint] = []
+    retry_axis: tuple[int | str, ...] = ("adp",) if adaptive_arq else retry_budgets
     for loss in loss_rates:
         loss_key = int(round(loss * 10_000))
-        for retries in retry_budgets:
+        for retries in retry_axis:
             for name, factory in algorithms.items():
                 deploy_rng = np.random.default_rng((seed, loss_key))
                 graph = connected_random_graph(
@@ -159,29 +466,42 @@ def run_fault_experiment(
                 tree = build_routing_tree(graph, root=0)
                 workload = SyntheticWorkload(graph.positions, deploy_rng)
                 spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+                retry_key = 997 if retries == "adp" else retries
                 fault_rng = np.random.default_rng(
-                    (seed, loss_key, retries, 7)
+                    (seed, loss_key, retry_key, 7)
                 )
                 plan = FaultPlan(
                     loss=_loss_model(loss, burst_length),
                     churn=RandomChurn(churn_rate) if churn_rate > 0 else None,
+                    outages=(
+                        RandomOutages(
+                            transient_rate, mean_downtime=transient_downtime
+                        )
+                        if transient_rate > 0
+                        else None
+                    ),
                     rng=fault_rng,
                 )
+                arq: ArqPolicy = (
+                    AdaptiveArqPolicy()
+                    if retries == "adp"
+                    else ArqPolicy(max_retries=int(retries))
+                )
+                driver = FaultDriver(
+                    factory,
+                    spec,
+                    tree,
+                    workload,
+                    plan,
+                    arq,
+                    graph=graph,
+                    repair=repair,
+                    radio_range=radio_range,
+                    watchdog_patience=watchdog_patience,
+                )
+                driver.run(num_rounds)
                 points.append(
-                    _run_one(
-                        name,
-                        factory,
-                        spec,
-                        tree,
-                        workload,
-                        plan,
-                        ArqPolicy(max_retries=retries),
-                        loss,
-                        churn_rate,
-                        num_rounds,
-                        radio_range,
-                        watchdog_patience,
-                    )
+                    driver.point(name, loss, churn_rate, transient_rate)
                 )
     return FaultExperimentResult(points=points)
 
@@ -192,118 +512,6 @@ def _loss_model(loss: float, burst_length: float | None) -> LinkLossModel | None
     if burst_length is None:
         return IndependentLoss(loss)
     return GilbertElliottLoss.from_average(loss, burst_length=burst_length)
-
-
-def _run_one(
-    name: str,
-    factory: AlgorithmFactory,
-    spec: QuerySpec,
-    tree: RoutingTree,
-    workload: SyntheticWorkload,
-    plan: FaultPlan,
-    arq: ArqPolicy,
-    loss: float,
-    churn_rate: float,
-    num_rounds: int,
-    radio_range: float,
-    watchdog_patience: int,
-) -> FaultSeriesPoint:
-    ledger = EnergyLedger(tree.num_vertices, tree.root, EnergyModel(), radio_range)
-    net = FaultyTreeNetwork(tree, ledger, plan=plan, arq=arq)
-    watchdog = RootWatchdog(tree, patience=watchdog_patience)
-
-    algorithm = factory(spec)
-    needs_init = True
-    last_answer: int | None = None
-    exact = failures = reinits = 0
-    rank_errors: list[int] = []
-    value_errors: list[int] = []
-    coverages: list[float] = []
-    rounds_run = 0
-
-    for round_index in range(num_rounds):
-        net.begin_faults_round(round_index)
-        live = net.live_sensor_nodes()
-        if not live:
-            break  # every sensor died; nothing left to query
-        values = np.asarray(workload.values(round_index))
-        ledger.begin_round()
-        log_start = len(net.collection_log)
-        reinitialized = False
-        try:
-            if needs_init:
-                if round_index > 0:
-                    algorithm = factory(spec)
-                    reinits += 1
-                    reinitialized = True
-                outcome = algorithm.initialize(net, values)
-                needs_init = False
-            else:
-                outcome = algorithm.update(net, values)
-            last_answer = outcome.quantile
-        except ProtocolError:
-            # Loss/churn drove the protocol state into an impossible
-            # configuration.  Re-synchronize from scratch *in this round*:
-            # the re-init broadcast + convergecast is real traffic and is
-            # charged to the open ledger round like everything else.
-            failures += 1
-            algorithm = factory(spec)
-            try:
-                outcome = algorithm.initialize(net, values)
-                reinits += 1
-                reinitialized = True
-                needs_init = False
-                last_answer = outcome.quantile
-            except ProtocolError:
-                needs_init = True  # even the re-init drowned; retry next round
-        ledger.end_round()
-        rounds_run += 1
-
-        # Root-side watchdog: full collections tell the root who is gone.
-        reinit_wanted = False
-        full_records = [
-            record
-            for record in net.collection_log[log_start:]
-            if watchdog.is_full_collection(record, len(live))
-        ]
-        for record in full_records:
-            coverages.append(record.coverage)
-        if full_records:
-            if reinitialized:
-                watchdog.adopt(full_records[-1])
-            else:
-                for record in full_records:
-                    reinit_wanted |= watchdog.observe(record)
-        if reinit_wanted:
-            needs_init = True  # scheduled re-initialization, next round
-
-        # Accuracy against the live population's quantile.
-        live_values = values[list(live)]
-        k_live = quantile_rank(len(live), spec.phi)
-        truth = exact_quantile(live_values, k_live)
-        answer = last_answer if last_answer is not None else truth
-        exact += int(answer == truth)
-        value_errors.append(abs(answer - truth))
-        rank_errors.append(insertion_rank_error(live_values, answer, k_live))
-
-    rounds_run = max(rounds_run, 1)
-    return FaultSeriesPoint(
-        algorithm=name,
-        loss_rate=loss,
-        retries=arq.max_retries,
-        churn_rate=churn_rate,
-        rounds=rounds_run,
-        exact_fraction=exact / rounds_run,
-        mean_rank_error=float(np.mean(rank_errors)) if rank_errors else 0.0,
-        mean_value_error=float(np.mean(value_errors)) if value_errors else 0.0,
-        reinit_count=reinits,
-        failure_rate=failures / rounds_run,
-        delivered_fraction=float(np.mean(coverages)) if coverages else 1.0,
-        hotspot_energy_mj=ledger.max_mean_round_energy() * 1e3,
-        lost_transmissions=net.lost_transmissions,
-        retransmissions=net.retransmissions,
-        survivors=len(net.live_sensor_nodes()),
-    )
 
 
 # -- legacy loss-study API (extensions/loss.py) ------------------------------

@@ -25,6 +25,7 @@ subtree misses the flood — see ``TreeNetwork.broadcast``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,6 +65,101 @@ class ArqPolicy:
         """Data-frame transmissions allowed per hop."""
         return self.max_retries + 1
 
+    #: Label used in result tables for the retry axis.
+    @property
+    def label(self) -> int | str:
+        return self.max_retries
+
+    def attempts_for(self, sender: int, receiver: int) -> int:
+        """Data-frame attempts budgeted for this directed link."""
+        return self.max_attempts
+
+    def observe(self, sender: int, receiver: int, delivered: bool) -> None:
+        """Feedback after one attempt (ACK-confirmed or not).
+
+        The static policy ignores it; adaptive controllers learn from it.
+        """
+
+
+class AdaptiveArqPolicy(ArqPolicy):
+    """Per-link ARQ whose retry budget follows an EWMA of observed loss.
+
+    Each directed link keeps an exponentially weighted estimate ``p`` of its
+    attempt-failure probability, learned from ACK-confirmed outcomes.  The
+    retry budget for the link is the smallest number of attempts that
+    reaches ``target_delivery`` under i.i.d. loss ``p``::
+
+        attempts = ceil(log(1 - target_delivery) / log(p))
+
+    clamped to ``[1, max_retries + 1]``.  Quiet links near-instantly decay
+    to single attempts (no wasted retransmission slots), while a link inside
+    a Gilbert-Elliott burst ramps its budget up within a few rounds — the
+    per-link replacement for the global ``retries`` knob.
+
+    Note: instances carry mutable learning state — use one per experiment
+    cell, not a shared constant.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 5,
+        target_delivery: float = 0.99,
+        smoothing: float = 0.25,
+        prior_loss: float = 0.05,
+    ) -> None:
+        if max_retries < 1:
+            raise ConfigurationError(
+                f"adaptive ARQ needs max_retries >= 1, got {max_retries}"
+            )
+        if not 0.0 < target_delivery < 1.0:
+            raise ConfigurationError(
+                f"target_delivery must be in (0, 1), got {target_delivery}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        if not 0.0 <= prior_loss < 1.0:
+            raise ConfigurationError(
+                f"prior_loss must be in [0, 1), got {prior_loss}"
+            )
+        object.__setattr__(self, "max_retries", max_retries)
+        object.__setattr__(self, "target_delivery", target_delivery)
+        object.__setattr__(self, "smoothing", smoothing)
+        object.__setattr__(self, "prior_loss", prior_loss)
+        object.__setattr__(self, "_loss_ewma", {})
+
+    @property
+    def enabled(self) -> bool:
+        """Adaptive ARQ always runs the ACK protocol (it needs the feedback)."""
+        return True
+
+    @property
+    def label(self) -> int | str:
+        return "adp"
+
+    def link_loss(self, sender: int, receiver: int) -> float:
+        """Current loss estimate for the directed link."""
+        return self._loss_ewma.get((sender, receiver), self.prior_loss)
+
+    def attempts_for(self, sender: int, receiver: int) -> int:
+        loss = min(max(self.link_loss(sender, receiver), 0.0), 0.999)
+        if loss <= 0.0:
+            attempts = 1
+        else:
+            attempts = math.ceil(
+                math.log(1.0 - self.target_delivery) / math.log(loss)
+            )
+        return max(1, min(attempts, self.max_attempts))
+
+    def observe(self, sender: int, receiver: int, delivered: bool) -> None:
+        key = (sender, receiver)
+        previous = self._loss_ewma.get(key, self.prior_loss)
+        sample = 0.0 if delivered else 1.0
+        self._loss_ewma[key] = (
+            (1.0 - self.smoothing) * previous + self.smoothing * sample
+        )
+
 
 class FaultyTreeNetwork(TreeNetwork):
     """Tree network with pluggable fault injection and per-hop ARQ."""
@@ -97,15 +193,15 @@ class FaultyTreeNetwork(TreeNetwork):
         return self.plan.begin_round(self.tree, round_index)
 
     def live_sensor_nodes(self) -> tuple[int, ...]:
-        """Sensor nodes that are still alive under the plan's churn."""
+        """Sensor nodes that are up this round (not dead, not in an outage)."""
         return tuple(
-            v for v in self.tree.sensor_nodes if not self.plan.is_dead(v)
+            v for v in self.tree.sensor_nodes if not self.plan.is_down(v)
         )
 
     # -- engine fault hooks ---------------------------------------------------
 
     def _vertex_down(self, vertex: int) -> bool:
-        return self.plan.is_dead(vertex)
+        return self.plan.is_down(vertex)
 
     def _hop_delivered(
         self, vertex: int, parent: int, payload: Payload
@@ -114,9 +210,10 @@ class FaultyTreeNetwork(TreeNetwork):
         distance = self.tree.link_distance[vertex]
         parent_down = self._vertex_down(parent)
         ack = ack_cost()
+        arq = self.arq
         delivered = False
         bits = 0
-        for attempt in range(self.arq.max_attempts):
+        for attempt in range(max(1, arq.attempts_for(vertex, parent))):
             if attempt > 0:
                 self.retransmissions += 1
             self.ledger.charge_send(
@@ -134,7 +231,7 @@ class FaultyTreeNetwork(TreeNetwork):
                 delivered = True
             else:
                 self.lost_transmissions += 1
-            if not self.arq.enabled:
+            if not arq.enabled:
                 break
             if frame_ok:
                 # Parent acknowledges; the ACK rides the same lossy channel.
@@ -143,11 +240,14 @@ class FaultyTreeNetwork(TreeNetwork):
                 self.acks_sent += 1
                 bits += ack.total_bits
                 if not self.plan.transmission_lost(parent, vertex):
+                    arq.observe(vertex, parent, True)
                     break
                 self.lost_acks += 1
             else:
                 # The child listens through the ACK window in vain.
                 self.ledger.charge_recv(vertex, ack)
+            # From the sender's viewpoint only an ACK confirms the attempt.
+            arq.observe(vertex, parent, False)
         return delivered, bits
 
 

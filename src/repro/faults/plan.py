@@ -1,10 +1,13 @@
 """Pluggable fault plans: what goes wrong, when, on which link.
 
-A :class:`FaultPlan` bundles the two failure modes the evaluation studies —
-per-transmission link loss and permanent node death (churn) — behind the
-three questions the network layer asks:
+A :class:`FaultPlan` bundles the three failure modes the evaluation
+studies — per-transmission link loss, permanent node death (churn), and
+*transient* node outages (a node down for a bounded number of rounds, then
+back) — behind the questions the network layer asks:
 
 * "is this vertex dead?" (:meth:`FaultPlan.is_dead`),
+* "is this vertex down right now?" (:meth:`FaultPlan.is_down` — dead *or*
+  in a transient outage),
 * "did this frame get lost?" (:meth:`FaultPlan.transmission_lost`),
 * "who died this round?" (:meth:`FaultPlan.begin_round`).
 
@@ -23,6 +26,13 @@ Churn is modelled as *permanent* node death (battery failure, crush
 damage): :class:`RandomChurn` kills each live sensor with a fixed per-round
 hazard, :class:`ScheduledChurn` kills listed vertices at listed rounds
 (deterministic scenarios for tests and ablations).
+
+Transient outages (reboots, duty-cycle misses, temporary obstructions) are
+the churn the repair layer can actually undo: an :class:`OutageModel`
+decides which up nodes go down each round and for how long.
+:class:`RandomOutages` draws geometric downtimes (memoryless recovery);
+:class:`ScheduledOutages` scripts exact ``(vertex, duration)`` outages per
+round for deterministic tests.
 """
 
 from __future__ import annotations
@@ -215,11 +225,96 @@ class ScheduledChurn(ChurnModel):
         return self.schedule.get(round_index, ())
 
 
-class FaultPlan:
-    """One deployment's failure script: link loss + churn + their randomness.
+class OutageModel(ABC):
+    """Decides which up sensors go down *transiently* at each round start."""
 
-    A plan with neither model (the default) is a perfectly reliable network,
-    so :class:`~repro.faults.network.FaultyTreeNetwork` degrades gracefully
+    @abstractmethod
+    def outages(
+        self,
+        round_index: int,
+        candidates: Sequence[int],
+        rng: np.random.Generator,
+    ) -> Iterable[tuple[int, int]]:
+        """``(vertex, duration)`` outages starting at ``round_index``.
+
+        ``candidates`` are the sensors that are currently up (neither dead
+        nor already in an outage).  ``duration`` counts rounds the vertex
+        stays down, including this one; it must be >= 1.
+        """
+
+
+class RandomOutages(OutageModel):
+    """Memoryless outages: each up sensor goes down with ``rate`` per round.
+
+    Downtimes are geometric with mean ``mean_downtime`` rounds — the
+    discrete analogue of exponential repair times.  ``start_round``
+    (default 1) keeps the initialization round clean, mirroring
+    :class:`RandomChurn`.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        mean_downtime: float = 3.0,
+        start_round: int = 1,
+    ) -> None:
+        _validate_probability("outage rate", rate, upper_inclusive=True)
+        if mean_downtime < 1.0:
+            raise ConfigurationError(
+                f"mean_downtime must be >= 1 round, got {mean_downtime}"
+            )
+        if start_round < 0:
+            raise ConfigurationError(f"start_round must be >= 0, got {start_round}")
+        self.rate = rate
+        self.mean_downtime = mean_downtime
+        self.start_round = start_round
+
+    def outages(
+        self,
+        round_index: int,
+        candidates: Sequence[int],
+        rng: np.random.Generator,
+    ) -> Iterable[tuple[int, int]]:
+        if round_index < self.start_round or self.rate == 0.0 or not candidates:
+            return ()
+        mask = rng.random(len(candidates)) < self.rate
+        out: list[tuple[int, int]] = []
+        for vertex, down in zip(candidates, mask):
+            if not down:
+                continue
+            duration = int(rng.geometric(1.0 / self.mean_downtime))
+            out.append((vertex, max(1, duration)))
+        return out
+
+
+class ScheduledOutages(OutageModel):
+    """Deterministic outages from a ``{round: [(vertex, duration), ...]}`` script."""
+
+    def __init__(
+        self, schedule: Mapping[int, Iterable[tuple[int, int]]]
+    ) -> None:
+        self.schedule = {
+            int(round_index): tuple(
+                (int(vertex), int(duration)) for vertex, duration in outages
+            )
+            for round_index, outages in schedule.items()
+        }
+
+    def outages(
+        self,
+        round_index: int,
+        candidates: Sequence[int],
+        rng: np.random.Generator,
+    ) -> Iterable[tuple[int, int]]:
+        # Returned verbatim: the plan validates (root, duration, duplicates).
+        return self.schedule.get(round_index, ())
+
+
+class FaultPlan:
+    """One deployment's failure script: loss + churn + outages + randomness.
+
+    A plan with no model (the default) is a perfectly reliable network, so
+    :class:`~repro.faults.network.FaultyTreeNetwork` degrades gracefully
     to the plain engine behaviour.
     """
 
@@ -227,14 +322,23 @@ class FaultPlan:
         self,
         loss: LinkLossModel | None = None,
         churn: ChurnModel | None = None,
+        outages: OutageModel | None = None,
         rng: np.random.Generator | None = None,
         seed: int = 20140324,
     ) -> None:
         self.loss = loss
         self.churn = churn
+        self.outages = outages
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         #: Permanently dead vertices (never contains a root).
         self.dead: set[int] = set()
+        #: Transiently down vertices -> remaining down rounds (this one
+        #: included).  Disjoint from :attr:`dead` by construction.
+        self.down: dict[int, int] = {}
+        #: Vertices whose transient outage began this round.
+        self.newly_down: frozenset[int] = frozenset()
+        #: Vertices whose transient outage ended entering this round.
+        self.newly_recovered: frozenset[int] = frozenset()
 
     @property
     def nominal_loss(self) -> float:
@@ -242,7 +346,30 @@ class FaultPlan:
         return self.loss.nominal_loss if self.loss is not None else 0.0
 
     def begin_round(self, tree: RoutingTree, round_index: int) -> frozenset[int]:
-        """Advance churn by one round; returns the newly dead vertices."""
+        """Advance churn and outages by one round; returns the newly dead.
+
+        Transient bookkeeping lands in :attr:`newly_down` /
+        :attr:`newly_recovered`; the return value stays the set of newly
+        *permanently* dead vertices (the original contract).
+        """
+        recovered = self._tick_outages()
+        newly_dead = self._churn_deaths(tree, round_index)
+        # A vertex can die the very round its outage would have ended: it
+        # never recovers.
+        self.newly_recovered = frozenset(v for v in recovered if v not in self.dead)
+        self.newly_down = self._begin_outages(tree, round_index)
+        return newly_dead
+
+    def _tick_outages(self) -> list[int]:
+        recovered: list[int] = []
+        for vertex in list(self.down):
+            self.down[vertex] -= 1
+            if self.down[vertex] <= 0:
+                del self.down[vertex]
+                recovered.append(vertex)
+        return recovered
+
+    def _churn_deaths(self, tree: RoutingTree, round_index: int) -> frozenset[int]:
         if self.churn is None:
             return frozenset()
         live = [v for v in tree.sensor_nodes if v not in self.dead]
@@ -251,11 +378,42 @@ class FaultPlan:
             raise ConfigurationError("the root (sink) cannot die")
         newly = requested & frozenset(live)
         self.dead |= newly
+        # Death supersedes a pending outage: the vertex stays down forever.
+        for vertex in newly:
+            self.down.pop(vertex, None)
         return newly
+
+    def _begin_outages(self, tree: RoutingTree, round_index: int) -> frozenset[int]:
+        if self.outages is None:
+            return frozenset()
+        candidates = [
+            v
+            for v in tree.sensor_nodes
+            if v not in self.dead and v not in self.down
+        ]
+        requested = self.outages.outages(round_index, candidates, self.rng)
+        started: set[int] = set()
+        eligible = frozenset(candidates)
+        for vertex, duration in requested:
+            if vertex == tree.root:
+                raise ConfigurationError("the root (sink) cannot go down")
+            if duration < 1:
+                raise ConfigurationError(
+                    f"outage duration must be >= 1 round, got {duration}"
+                )
+            if vertex not in eligible or vertex in started:
+                continue
+            self.down[vertex] = duration
+            started.add(vertex)
+        return frozenset(started)
 
     def is_dead(self, vertex: int) -> bool:
         """True when ``vertex`` has permanently failed."""
         return vertex in self.dead
+
+    def is_down(self, vertex: int) -> bool:
+        """True when ``vertex`` is out right now (dead or transient outage)."""
+        return vertex in self.dead or vertex in self.down
 
     def transmission_lost(self, sender: int, receiver: int) -> bool:
         """Sample one transmission attempt on ``sender -> receiver``."""

@@ -1,0 +1,351 @@
+"""Tree repair: orphan re-attach and transient-churn membership patching.
+
+PR 2's recovery story was all-or-nothing: a silent subtree could only be
+*re-initialized* — the most expensive reaction the energy model knows.
+This module adds the reactions a real deployment uses first:
+
+* **Orphan re-attach** — when a vertex's tree parent goes down, the vertex
+  probes its physical neighbourhood (one beacon, every up neighbour answers)
+  and re-attaches its whole subtree to the nearest up neighbour that still
+  has a fully-up path to the root and lies outside its own subtree.  The
+  routing tree is rewritten (:func:`~repro.network.tree.tree_reparented`),
+  the engine swaps it in (:meth:`~repro.sim.engine.TreeNetwork.retarget`),
+  and the adopting parent reports the membership change up to the root.
+  Only when *no* candidate is in radio range does the subtree stay cut off
+  and the driver falls back to the watchdog's re-initialization.
+
+* **Membership patching (detach / rejoin)** — the root tracks which sensors
+  can currently report (up + connected).  Nodes that leave (death, outage,
+  unreachable orphan) are *detached*: the algorithm moves their last-known
+  interval label out of its counters and shrinks ``k``'s population instead
+  of restarting the query.  Nodes that come back are *rejoined*: the parent
+  re-pushes the current filter (one hop), the node reports its value up,
+  and the root moves the label back in.  Validation filters and intervals
+  survive; on a loss-free network the answers stay exactly the live
+  population's quantile through arbitrary churn.
+
+All repair traffic — probe beacons, neighbour replies, the adopt handshake,
+membership reports and filter re-pushes — is charged to the energy ledger
+under the ``"repair"`` phase, so ``repro faults`` can show what recovery
+actually costs next to what it saves.
+
+The root's membership view is modelled as consistent at the end of each
+repair pass (link-layer hello detection plus membership reports); reports
+are only charged where an up reporting path exists.  The watchdog is
+retargeted on every membership change so it awaits exactly the branches
+that can still deliver — this is what stops a subtree repaired during a
+watchdog grace window from being re-initialized on top (and double-charged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import VALUE_BITS
+from repro.errors import ConfigurationError
+from repro.faults.network import FaultyTreeNetwork
+from repro.faults.watchdog import RootWatchdog
+from repro.network.topology import PhysicalGraph
+from repro.network.tree import tree_reparented
+from repro.radio.message import MessageCost, ack_cost, message_bits
+
+#: Phase label repair traffic is charged under in ``net.phase_bits``.
+REPAIR_PHASE = "repair"
+
+
+@dataclass(frozen=True)
+class RepairRound:
+    """What one repair pass did at the start of a round."""
+
+    #: ``(orphan, new_parent)`` re-attachments performed, in order.
+    reattached: tuple[tuple[int, int], ...] = ()
+    #: Orphans that found no eligible neighbour *for the first time* (the
+    #: driver schedules the watchdog-style re-initialization fallback).
+    fallback: tuple[int, ...] = ()
+    #: Vertices detached from the query this round.
+    detached: tuple[int, ...] = ()
+    #: Vertices rejoined to the query this round.
+    rejoined: tuple[int, ...] = ()
+
+    @property
+    def changed_membership(self) -> bool:
+        return bool(self.reattached or self.detached or self.rejoined)
+
+
+@dataclass
+class RepairStats:
+    """Cumulative repair activity over a run."""
+
+    reattach_count: int = 0
+    fallback_count: int = 0
+    detach_count: int = 0
+    rejoin_count: int = 0
+    #: Total energy [J] spent on repair traffic (probes, adopts, reports).
+    repair_energy_j: float = 0.0
+    #: On-air bits of repair traffic.
+    repair_bits: int = 0
+    #: Per-round records, in order.
+    rounds: list[RepairRound] = field(default_factory=list)
+
+
+class TreeRepair:
+    """Per-round tree repair and membership maintenance for one network.
+
+    Args:
+        graph: the physical connectivity graph (candidate parents must be
+            within radio range ``rho``).
+        net: the fault-injecting network whose tree is repaired in place.
+        watchdog: optional root watchdog to retarget on membership changes.
+    """
+
+    def __init__(
+        self,
+        graph: PhysicalGraph,
+        net: FaultyTreeNetwork,
+        watchdog: RootWatchdog | None = None,
+    ) -> None:
+        if graph.num_vertices != net.tree.num_vertices:
+            raise ConfigurationError(
+                f"graph has {graph.num_vertices} vertices but tree has "
+                f"{net.tree.num_vertices}"
+            )
+        self.graph = graph
+        self.net = net
+        self.watchdog = watchdog
+        self.plan = net.plan
+        self.stats = RepairStats()
+        #: Sensors the root currently considers outside the query.
+        self.detached: set[int] = set()
+        #: Orphans that already failed to find a parent (probe again each
+        #: round, but the re-init fallback fires only on the first failure).
+        self._unattachable: set[int] = set()
+        self._newly_unattachable: set[int] = set()
+
+    # -- root-reachability ----------------------------------------------------
+
+    def _reachable(self) -> list[bool]:
+        """Per-vertex: is the whole tree path to the root up right now?"""
+        tree = self.net.tree
+        ok = [False] * tree.num_vertices
+        ok[tree.root] = True
+        for vertex in tree.top_down_order:
+            if vertex == tree.root:
+                continue
+            ok[vertex] = ok[tree.parent[vertex]] and not self.plan.is_down(vertex)
+        return ok
+
+    def reachable_sensors(self) -> tuple[int, ...]:
+        """Up sensors whose whole path to the root is up."""
+        ok = self._reachable()
+        return tuple(v for v in self.net.tree.sensor_nodes if ok[v])
+
+    # -- the per-round pass ---------------------------------------------------
+
+    def repair_round(self, algorithm, values: np.ndarray) -> RepairRound:
+        """Run one repair pass; call at round start (ledger round open).
+
+        Order matters: re-attachments first (they restore connectivity, so
+        their subtrees never need to be detached at all), then the
+        membership diff against the post-repair reachable set.
+        ``algorithm.detach``/``rejoin`` may raise
+        :class:`~repro.errors.ProtocolError`; the internal membership set is
+        updated *before* the algorithm hook so a driver that reacts by
+        re-initializing can resynchronize via :meth:`resync_after_reinit`.
+        """
+        energy_before = float(self.net.ledger.energy.sum())
+        reattached = self._reattach_orphans()
+        fallback = self._first_time_fallbacks()
+        detached, rejoined = self._sync_membership(algorithm, values)
+        round_record = RepairRound(
+            reattached=tuple(reattached),
+            fallback=tuple(fallback),
+            detached=tuple(detached),
+            rejoined=tuple(rejoined),
+        )
+        if round_record.changed_membership and self.watchdog is not None:
+            self.watchdog.retarget(self.net.tree, self.reachable_sensors())
+        self.stats.reattach_count += len(reattached)
+        self.stats.fallback_count += len(fallback)
+        self.stats.detach_count += len(detached)
+        self.stats.rejoin_count += len(rejoined)
+        self.stats.repair_energy_j += (
+            float(self.net.ledger.energy.sum()) - energy_before
+        )
+        self.stats.rounds.append(round_record)
+        return round_record
+
+    def resync_after_reinit(self, algorithm) -> None:
+        """Align a freshly constructed algorithm with current reachability.
+
+        Called by the driver right before re-initializing: the new query is
+        planted on the reachable population only.
+        """
+        reachable = set(self.reachable_sensors())
+        self.detached = set(self.net.tree.sensor_nodes) - reachable
+        algorithm.reset_participation(self.net, self.detached)
+        if self.watchdog is not None:
+            self.watchdog.retarget(self.net.tree, tuple(sorted(reachable)))
+
+    # -- orphan re-attach -----------------------------------------------------
+
+    def _orphans(self) -> list[int]:
+        """Up vertices whose tree parent is down, shallowest first."""
+        tree = self.net.tree
+        orphans = [
+            v
+            for v in tree.sensor_nodes
+            if not self.plan.is_down(v) and self.plan.is_down(tree.parent[v])
+        ]
+        orphans.sort(key=lambda v: (tree.depth[v], v))
+        return orphans
+
+    def _reattach_orphans(self) -> list[tuple[int, int]]:
+        reattached: list[tuple[int, int]] = []
+        failed: set[int] = set()
+        while True:
+            pending = [v for v in self._orphans() if v not in failed]
+            if not pending:
+                break
+            orphan = pending[0]
+            candidate = self._probe_for_parent(orphan)
+            if candidate is None:
+                failed.add(orphan)
+                continue
+            self._adopt(orphan, candidate)
+            reattached.append((orphan, candidate))
+            self._unattachable.discard(orphan)
+            # A successful adopt restores connectivity below the orphan, so
+            # neighbours that found no live-path candidate before may now:
+            # let them probe again this round (cascaded repairs).
+            failed.clear()
+        # Orphans whose parent recovered (or got re-attached) are no longer
+        # orphans; forget them so a later relapse counts as a fresh failure.
+        self._unattachable &= failed
+        self._newly_unattachable = failed - self._unattachable
+        return reattached
+
+    def _first_time_fallbacks(self) -> list[int]:
+        fresh = sorted(self._newly_unattachable)
+        self._unattachable |= self._newly_unattachable
+        self._newly_unattachable = set()
+        return fresh
+
+    def _probe_for_parent(self, orphan: int) -> int | None:
+        """One probe beacon + replies; returns the nearest eligible neighbour.
+
+        Eligible: physically in range, up, outside the orphan's own subtree,
+        and with a fully-up tree path to the root.
+        """
+        tree = self.net.tree
+        ack = ack_cost()
+        # The probe is a local broadcast at full radio range; every up
+        # neighbour pays the listen, but only neighbours that actually hold
+        # a working route (and are not in the orphan's own subtree) answer
+        # with an ack-sized beacon — nodes without a route to offer keep
+        # quiet, exactly like route advertisements in CTP/RPL.
+        self._charge_send(orphan, ack, self.graph.radio_range)
+        subtree = frozenset(tree.subtree_vertices(orphan))
+        reachable = self._reachable()
+        best: int | None = None
+        best_distance = float("inf")
+        for neighbor in self.graph.neighbors(orphan):
+            if neighbor != tree.root and self.plan.is_down(neighbor):
+                continue
+            self._charge_recv(neighbor, ack)
+            if neighbor in subtree or not reachable[neighbor]:
+                continue
+            distance = self._distance(orphan, neighbor)
+            self._charge_send(neighbor, ack, distance)
+            self._charge_recv(orphan, ack)
+            if distance < best_distance:
+                best, best_distance = neighbor, distance
+        return best
+
+    def _adopt(self, orphan: int, new_parent: int) -> None:
+        """Adopt handshake, tree rewrite, and membership report to the root."""
+        distance = self._distance(orphan, new_parent)
+        ack = ack_cost()
+        # Adopt request / accept, both ack-sized control frames.
+        self._charge_send(orphan, ack, distance)
+        self._charge_recv(new_parent, ack)
+        self._charge_send(new_parent, ack, distance)
+        self._charge_recv(orphan, ack)
+        new_tree = tree_reparented(self.net.tree, orphan, new_parent, distance)
+        self.net.retarget(new_tree)
+        # The adopting parent reports the membership change up the (new)
+        # tree so the root can patch its branch bookkeeping.
+        self._report_to_root(new_parent)
+
+    # -- membership sync ------------------------------------------------------
+
+    def _sync_membership(
+        self, algorithm, values: np.ndarray
+    ) -> tuple[list[int], list[int]]:
+        tree = self.net.tree
+        ok = self._reachable()
+        reachable = {v for v in tree.sensor_nodes if ok[v]}
+        newly_gone = sorted(
+            v
+            for v in tree.sensor_nodes
+            if v not in self.detached and v not in reachable
+        )
+        newly_back = sorted(v for v in self.detached if v in reachable)
+
+        for vertex in newly_gone:
+            # A down node's silence is noticed by its parent; the report can
+            # only travel where an up path exists.
+            reporter = tree.parent[vertex]
+            if reporter == tree.root or (
+                reporter >= 0 and ok[reporter]
+            ):
+                self._report_to_root(reporter)
+            self.detached.add(vertex)
+            algorithm.detach(self.net, vertex)
+
+        for vertex in newly_back:
+            # Filter re-push (one hop down), then the node reports its
+            # current value up so the root can patch its counters.
+            push = message_bits(VALUE_BITS)
+            parent = tree.parent[vertex]
+            self._charge_send(parent, push, tree.link_distance[vertex])
+            self._charge_recv(vertex, push)
+            self._report_to_root(vertex)
+            self.detached.discard(vertex)
+            algorithm.rejoin(self.net, values, vertex)
+        return newly_gone, newly_back
+
+    # -- charging helpers -----------------------------------------------------
+
+    def _distance(self, a: int, b: int) -> float:
+        pa, pb = self.graph.positions[a], self.graph.positions[b]
+        return float(np.hypot(pa[0] - pb[0], pa[1] - pb[1]))
+
+    def _charge_send(self, sender: int, cost: MessageCost, distance: float) -> None:
+        self.net.ledger.charge_send(sender, cost, link_distance=distance)
+        self._account_bits(cost)
+
+    def _charge_recv(self, receiver: int, cost: MessageCost) -> None:
+        self.net.ledger.charge_recv(receiver, cost)
+
+    def _report_to_root(self, start: int) -> None:
+        """Report a membership change from ``start`` up the tree path.
+
+        Membership reports are tiny (a vertex id and a flag) and ride
+        piggybacked on the next already-scheduled frame of each hop, so they
+        cost their payload bits but no extra MAC frames or headers.
+        """
+        if start == self.net.tree.root:
+            return
+        tree = self.net.tree
+        cost = MessageCost(messages=0, total_bits=VALUE_BITS, payload_bits=VALUE_BITS)
+        path = tree.path_to_root(start)
+        for child, parent in zip(path, path[1:]):
+            self._charge_send(child, cost, tree.link_distance[child])
+            self._charge_recv(parent, cost)
+
+    def _account_bits(self, cost: MessageCost) -> None:
+        self.stats.repair_bits += cost.total_bits
+        phase_bits = self.net.phase_bits
+        phase_bits[REPAIR_PHASE] = phase_bits.get(REPAIR_PHASE, 0) + cost.total_bits

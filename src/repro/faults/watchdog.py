@@ -22,6 +22,8 @@ messages), so only mandatory-response rounds carry signal.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import ConfigurationError
 from repro.network.tree import RoutingTree
 from repro.sim.engine import CollectionRecord
@@ -107,6 +109,29 @@ class RootWatchdog:
         self._streak = 0
         self.triggered += 1
         return True
+
+    def retarget(
+        self, tree: RoutingTree, members: Iterable[int] | None = None
+    ) -> None:
+        """Adopt a repaired routing tree (and optionally a member set).
+
+        Called by the repair layer after an orphan re-attach: the branch
+        bookkeeping is rebuilt for the new topology and the suspicion streak
+        is forgiven, because the strikes referred to a tree that no longer
+        exists.  Without this, a subtree repaired during the grace window
+        would still trigger the re-initialization it just made unnecessary
+        (double-charging the recovery energy).
+
+        ``members`` narrows the awaited branches to those hosting the given
+        vertices (e.g. the reachable live sensors); by default every branch
+        of the new tree is awaited.
+        """
+        self.tree = tree
+        self._branch = self._branch_map(tree)
+        if members is None:
+            members = tree.sensor_nodes
+        self._baseline_branches = frozenset(self._branch[v] for v in members)
+        self._streak = 0
 
     def adopt(self, record: CollectionRecord) -> None:
         """Accept a (re-)initialization collection as the new baseline.

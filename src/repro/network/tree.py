@@ -94,6 +94,16 @@ class RoutingTree:
             path.append(self.parent[path[-1]])
         return path
 
+    def subtree_vertices(self, vertex: int) -> tuple[int, ...]:
+        """All vertices of the subtree rooted at ``vertex`` (itself included)."""
+        out: list[int] = []
+        stack = [vertex]
+        while stack:
+            v = stack.pop()
+            out.append(v)
+            stack.extend(self.children[v])
+        return tuple(out)
+
 
 def tree_from_parents(
     root: int,
@@ -109,6 +119,28 @@ def tree_from_parents(
     n = len(parent)
     if not 0 <= root < n:
         raise TopologyError(f"root {root} out of range for {n} vertices")
+    for vertex, par in enumerate(parent):
+        if vertex != root and not 0 <= par < n:
+            raise TopologyError(f"vertex {vertex} has invalid parent {par}")
+    if positions is not None:
+        pos = np.asarray(positions, dtype=float)
+        link = [
+            0.0 if v == root else float(np.hypot(*(pos[v] - pos[parent[v]])))
+            for v in range(n)
+        ]
+    else:
+        link = [0.0] * n
+    return _tree_from_parent_links(root, list(parent), link)
+
+
+def _tree_from_parent_links(
+    root: int,
+    parent: list[int],
+    link: list[float],
+    relays: frozenset[int] = frozenset(),
+) -> RoutingTree:
+    """Validate a parent array and derive the traversal structures."""
+    n = len(parent)
     if parent[root] != -1:
         raise TopologyError("parent[root] must be -1")
 
@@ -147,15 +179,6 @@ def tree_from_parents(
         if vertex != root:
             subtree[parent[vertex]] += subtree[vertex]
 
-    if positions is not None:
-        pos = np.asarray(positions, dtype=float)
-        link = [
-            0.0 if v == root else float(np.hypot(*(pos[v] - pos[parent[v]])))
-            for v in range(n)
-        ]
-    else:
-        link = [0.0] * n
-
     return RoutingTree(
         root=root,
         parent=tuple(parent),
@@ -164,7 +187,36 @@ def tree_from_parents(
         depth=tuple(depth),
         bottom_up_order=bottom_up,
         subtree_size=tuple(subtree),
+        relays=relays,
     )
+
+
+def tree_reparented(
+    tree: RoutingTree, vertex: int, new_parent: int, link_distance: float
+) -> RoutingTree:
+    """A copy of ``tree`` with ``vertex`` (and its whole subtree) re-attached
+    under ``new_parent``.
+
+    This is the structural half of tree repair (an orphan adopting a new
+    parent after its old one went down).  ``new_parent`` must lie outside
+    the subtree of ``vertex`` — re-attaching inside it would cut the subtree
+    off the root and is rejected as a :class:`~repro.errors.TopologyError`.
+    """
+    if vertex == tree.root:
+        raise TopologyError("cannot re-parent the root")
+    if not 0 <= new_parent < tree.num_vertices:
+        raise TopologyError(f"new parent {new_parent} out of range")
+    if new_parent in tree.subtree_vertices(vertex):
+        raise TopologyError(
+            f"new parent {new_parent} lies inside the subtree of {vertex}"
+        )
+    if link_distance < 0.0:
+        raise TopologyError(f"link_distance must be >= 0, got {link_distance}")
+    parent = list(tree.parent)
+    parent[vertex] = new_parent
+    link = list(tree.link_distance)
+    link[vertex] = float(link_distance)
+    return _tree_from_parent_links(tree.root, parent, link, relays=tree.relays)
 
 
 def vertex_parent_check(vertex: int, parent: int) -> int:

@@ -142,6 +142,26 @@ class TreeNetwork:
         """Number of measuring nodes ``|N|``."""
         return self.tree.num_sensor_nodes
 
+    def retarget(self, tree: RoutingTree) -> None:
+        """Swap in a repaired routing tree over the same vertex set.
+
+        Tree repair (``repro.faults.repair``) re-attaches orphaned subtrees
+        to new parents; the ledger, phase accounting and collection log all
+        carry over because the vertices themselves are unchanged.
+        """
+        if tree.num_vertices != self.tree.num_vertices:
+            raise ProtocolError(
+                f"retarget changed the vertex count: {self.tree.num_vertices} "
+                f"-> {tree.num_vertices}"
+            )
+        if tree.root != self.tree.root:
+            raise ProtocolError(
+                f"retarget moved the root: {self.tree.root} -> {tree.root}"
+            )
+        if tree.relays != self.tree.relays:
+            raise ProtocolError("retarget changed the relay set")
+        self.tree = tree
+
     # -- fault-injection hooks ------------------------------------------------
     #
     # The base class is a perfectly reliable network; these hooks are the

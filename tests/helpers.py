@@ -1,16 +1,32 @@
-"""Shared helpers for algorithm tests: drive algorithms over value sequences."""
+"""Shared helpers for algorithm tests: drive algorithms over value sequences.
+
+Besides the fault-free :func:`drive` loop, this module hosts the
+*differential invariant harness* (:func:`assert_differential_invariant`):
+it steps every given algorithm through the fault driver on one shared
+deployment and value stream, and asserts that on every **trustworthy**
+round (full delivery since the last re-init, membership in sync — see
+``repro.faults.experiment.RoundReport.trustworthy``) an exact algorithm's
+answer equals the oracle's quantile over the participating population.
+Run it with no faults and again with faults at a generous retry budget:
+the answers must match the oracle either way, which pins the whole
+repair/rejoin bookkeeping to the ground truth.
+"""
 
 from __future__ import annotations
+
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.base import ContinuousQuantileAlgorithm
+from repro.faults import ArqPolicy, FaultDriver, FaultPlan, RoundReport
+from repro.network.topology import PhysicalGraph
 from repro.network.tree import RoutingTree
 from repro.radio.energy import EnergyModel
 from repro.radio.ledger import EnergyLedger
 from repro.sim.engine import TreeNetwork
 from repro.sim.oracle import exact_quantile, quantile_rank
-from repro.types import RoundOutcome
+from repro.types import QuerySpec, RoundOutcome
 
 
 def drive(
@@ -52,6 +68,79 @@ def drive(
             )
         outcomes.append(outcome)
     return outcomes, net
+
+
+class SequenceWorkload:
+    """Adapter: explicit per-round value arrays behind the workload API."""
+
+    def __init__(self, rounds: Sequence[np.ndarray]) -> None:
+        self.rounds = [np.asarray(r) for r in rounds]
+
+    def values(self, round_index: int) -> np.ndarray:
+        return self.rounds[round_index % len(self.rounds)]
+
+
+def assert_differential_invariant(
+    factories: dict[str, Callable[[QuerySpec], ContinuousQuantileAlgorithm]],
+    graph: PhysicalGraph,
+    tree: RoutingTree,
+    rounds: Sequence[np.ndarray],
+    spec: QuerySpec,
+    plan_factory: Callable[[], FaultPlan],
+    retries: int = 8,
+    radio_range: float | None = None,
+    min_trustworthy: int = 1,
+) -> dict[str, list[RoundReport]]:
+    """Differential invariant: exact algorithms == oracle on trustworthy rounds.
+
+    Every factory runs through a fresh :class:`~repro.faults.FaultDriver`
+    over the *same* deployment and value stream, against a fresh (and
+    therefore identically seeded) plan from ``plan_factory`` — so all
+    algorithms face the exact same fault schedule.  On every round the
+    driver flags as trustworthy, the answer is asserted equal to the
+    oracle's quantile over the participating population.  Rounds that lost
+    traffic or left membership out of sync are exempt (the root cannot know
+    better), but at least ``min_trustworthy`` rounds must qualify, so the
+    invariant cannot pass vacuously.
+    """
+    workload = SequenceWorkload(rounds)
+    reports_by_name: dict[str, list[RoundReport]] = {}
+    for name, factory in factories.items():
+        driver = FaultDriver(
+            factory,
+            spec,
+            tree,
+            workload,
+            plan_factory(),
+            ArqPolicy(max_retries=retries),
+            graph=graph,
+            repair=True,
+            radio_range=(
+                radio_range if radio_range is not None else graph.radio_range
+            ),
+        )
+        reports = driver.run(len(rounds))
+        trustworthy = 0
+        for report in reports:
+            if not report.trustworthy:
+                continue
+            trustworthy += 1
+            participants = list(report.participating)
+            k = quantile_rank(len(participants), spec.phi)
+            truth = exact_quantile(
+                workload.values(report.round_index)[participants], k
+            )
+            assert report.answer == truth, (
+                f"{name} round {report.round_index}: answered "
+                f"{report.answer}, oracle over the {len(participants)} "
+                f"participating sensors says {truth}"
+            )
+        assert trustworthy >= min_trustworthy, (
+            f"{name}: only {trustworthy} trustworthy rounds out of "
+            f"{len(reports)} — the invariant would be vacuous"
+        )
+        reports_by_name[name] = reports
+    return reports_by_name
 
 
 def random_rounds(

@@ -1,0 +1,230 @@
+"""Transient churn: outage plans, rejoin consistency, and a schedule fuzz.
+
+The deterministic half unit-tests the outage bookkeeping in
+``repro.faults.plan`` (tick/recovery, death superseding an outage, root
+protection).  The differential half drives every exact algorithm through
+the fault driver over scripted and randomized outage schedules and pins
+their answers to the oracle on trustworthy rounds — the filters a rejoined
+node carries must leave the root's counters exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import default_algorithms
+from repro.faults import (
+    FaultPlan,
+    IndependentLoss,
+    RandomOutages,
+    ScheduledChurn,
+    ScheduledOutages,
+)
+from repro.network.routing import build_routing_tree
+from repro.network.topology import connected_random_graph
+from repro.types import QuerySpec
+
+from tests.helpers import assert_differential_invariant, random_rounds
+
+SPEC = QuerySpec(r_min=0, r_max=127)
+
+
+# -- outage plan bookkeeping --------------------------------------------------
+
+
+class TestOutagePlans:
+    def test_outage_ticks_and_recovers(self, small_tree):
+        plan = FaultPlan(outages=ScheduledOutages({1: [(3, 2)]}))
+        plan.begin_round(small_tree, 0)
+        assert not plan.is_down(3)
+
+        plan.begin_round(small_tree, 1)
+        assert plan.newly_down == frozenset({3})
+        assert plan.is_down(3) and not plan.is_dead(3)
+
+        plan.begin_round(small_tree, 2)  # duration 2: down this round too
+        assert plan.is_down(3)
+        assert plan.newly_recovered == frozenset()
+
+        plan.begin_round(small_tree, 3)
+        assert plan.newly_recovered == frozenset({3})
+        assert not plan.is_down(3)
+
+    def test_death_supersedes_outage(self, small_tree):
+        plan = FaultPlan(
+            outages=ScheduledOutages({1: [(3, 1)]}),
+            churn=ScheduledChurn({2: [3]}),
+        )
+        plan.begin_round(small_tree, 1)
+        assert plan.is_down(3) and not plan.is_dead(3)
+
+        # Vertex 3 dies the very round its outage would have ended: it must
+        # not surface as recovered, and it stays down forever.
+        newly_dead = plan.begin_round(small_tree, 2)
+        assert newly_dead == frozenset({3})
+        assert plan.newly_recovered == frozenset()
+        assert plan.is_dead(3) and plan.is_down(3)
+        assert 3 not in plan.down  # the outage entry is gone, death remains
+
+        plan.begin_round(small_tree, 3)
+        assert plan.newly_recovered == frozenset()
+        assert plan.is_down(3)
+
+    def test_root_cannot_go_down(self, small_tree):
+        plan = FaultPlan(outages=ScheduledOutages({1: [(0, 2)]}))
+        plan.begin_round(small_tree, 0)
+        with pytest.raises(ConfigurationError):
+            plan.begin_round(small_tree, 1)
+
+    def test_outage_duration_must_be_positive(self, small_tree):
+        plan = FaultPlan(outages=ScheduledOutages({1: [(3, 0)]}))
+        with pytest.raises(ConfigurationError):
+            plan.begin_round(small_tree, 1)
+
+    def test_duplicate_and_busy_requests_are_ignored(self, small_tree):
+        plan = FaultPlan(
+            outages=ScheduledOutages({1: [(3, 3), (3, 1)], 2: [(3, 1)]})
+        )
+        plan.begin_round(small_tree, 1)
+        assert plan.down[3] == 3  # the first request wins, duplicate dropped
+        plan.begin_round(small_tree, 2)
+        assert plan.down[3] == 2  # already down: re-request ignored, ticking
+
+    def test_random_outages_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomOutages(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            RandomOutages(rate=0.1, mean_downtime=0.5)
+        with pytest.raises(ConfigurationError):
+            RandomOutages(rate=0.1, start_round=-1)
+
+    def test_random_outages_draws(self):
+        rng = np.random.default_rng(7)
+        model = RandomOutages(rate=1.0, mean_downtime=2.0)
+        assert model.outages(0, [1, 2, 3], rng) == ()  # start_round default 1
+        drawn = list(model.outages(1, [1, 2, 3], rng))
+        assert [vertex for vertex, _ in drawn] == [1, 2, 3]
+        assert all(duration >= 1 for _, duration in drawn)
+        quiet = RandomOutages(rate=0.0)
+        assert list(quiet.outages(1, [1, 2, 3], rng)) == []
+
+    def test_is_down_vs_is_dead(self, small_tree):
+        plan = FaultPlan(
+            outages=ScheduledOutages({1: [(3, 2)]}),
+            churn=ScheduledChurn({1: [5]}),
+        )
+        plan.begin_round(small_tree, 1)
+        # Transient: down but not dead.  Churned: both.
+        assert plan.is_down(3) and not plan.is_dead(3)
+        assert plan.is_down(5) and plan.is_dead(5)
+        # Up vertices are neither.
+        assert not plan.is_down(1) and not plan.is_dead(1)
+
+
+# -- differential invariant over transient schedules --------------------------
+
+
+def _deployment(num_vertices: int = 16, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    graph = connected_random_graph(
+        num_vertices, radio_range=45.0, rng=rng, area_side=100.0
+    )
+    tree = build_routing_tree(graph, root=0)
+    return graph, tree
+
+
+class TestTransientRejoinConsistency:
+    """Rejoined nodes carry consistent filters: answers stay oracle-exact."""
+
+    SCHEDULE = {2: [(3, 2), (7, 3)], 6: [(5, 2), (11, 1)]}
+
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return _deployment()
+
+    @pytest.fixture(scope="class")
+    def rounds(self, deployment):
+        graph, _ = deployment
+        rng = np.random.default_rng(99)
+        return random_rounds(rng, graph.num_vertices, 12, 10, 117, drift=0.5)
+
+    def test_exact_algorithms_match_oracle_without_loss(
+        self, deployment, rounds
+    ):
+        graph, tree = deployment
+        assert_differential_invariant(
+            default_algorithms(),
+            graph,
+            tree,
+            rounds,
+            SPEC,
+            plan_factory=lambda: FaultPlan(
+                outages=ScheduledOutages(self.SCHEDULE)
+            ),
+            min_trustworthy=6,
+        )
+
+    def test_exact_algorithms_match_oracle_under_loss(
+        self, deployment, rounds
+    ):
+        graph, tree = deployment
+        assert_differential_invariant(
+            default_algorithms(),
+            graph,
+            tree,
+            rounds,
+            SPEC,
+            plan_factory=lambda: FaultPlan(
+                loss=IndependentLoss(0.05),
+                outages=ScheduledOutages(self.SCHEDULE),
+                seed=20140324,
+            ),
+            retries=8,
+            min_trustworthy=4,
+        )
+
+
+FUZZ_GRAPH, FUZZ_TREE = _deployment(num_vertices=12, seed=11)
+FUZZ_ROUNDS = random_rounds(
+    np.random.default_rng(5), FUZZ_GRAPH.num_vertices, 8, 10, 117
+)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=6),  # outage start round
+            st.integers(min_value=1, max_value=11),  # sensor vertex
+            st.integers(min_value=1, max_value=3),  # downtime in rounds
+        ),
+        max_size=6,
+    )
+)
+def test_random_outage_schedules_stay_oracle_exact(schedule):
+    """Property: no outage schedule can silently corrupt a trustworthy answer.
+
+    The driver may re-initialize, fall back, or flag rounds untrustworthy —
+    but whenever it claims a trustworthy round, the answer must equal the
+    oracle over the participating sensors, for any churn pattern.
+    """
+    by_round: dict[int, list[tuple[int, int]]] = {}
+    for start, vertex, duration in schedule:
+        by_round.setdefault(start, []).append((vertex, duration))
+    assert_differential_invariant(
+        {"POS": default_algorithms()["POS"], "HBC": default_algorithms()["HBC"]},
+        FUZZ_GRAPH,
+        FUZZ_TREE,
+        FUZZ_ROUNDS,
+        SPEC,
+        plan_factory=lambda: FaultPlan(outages=ScheduledOutages(by_round)),
+        min_trustworthy=1,
+    )
