@@ -130,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="replace the static retry sweep with the per-link adaptive "
         "ARQ controller (one 'adp' cell per loss rate)",
     )
+    faults.add_argument(
+        "--rotate", type=int, default=0, metavar="N",
+        help="rotate to a fresh randomized min-hop tree every N rounds "
+        "(0 = never); rotation avoids down parents and composes with repair",
+    )
+    faults.add_argument(
+        "--etx", action=argparse.BooleanOptionalAction, default=True,
+        help="rank repair candidates (and bias rotation) by ETX-weighted "
+        "path cost from the shared link-quality estimator; --no-etx falls "
+        "back to nearest-neighbour adoption and unbiased rotation",
+    )
     faults.add_argument("--nodes", type=int, default=100)
     faults.add_argument("--rounds", type=int, default=60)
     faults.add_argument("--range", type=float, default=35.0, dest="radio_range")
@@ -311,20 +322,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             watchdog_patience=args.patience,
             repair=not args.no_repair,
             adaptive_arq=args.adaptive_arq,
+            repair_metric="etx" if args.etx else "nearest",
+            rotate_every=args.rotate,
         )
         loss_kind = (
             f"Gilbert-Elliott bursts (mean length {args.burst:g})"
             if args.burst is not None
             else "i.i.d. loss"
         )
-        repair_kind = "off" if args.no_repair else "on"
+        repair_kind = "off" if args.no_repair else (
+            "on (etx)" if args.etx else "on (nearest)"
+        )
+        rotate_kind = (
+            f", rotate every {args.rotate}" if args.rotate else ""
+        )
         print(
             format_fault_table(
                 result,
                 title=(
                     f"fault injection: {args.nodes} nodes, {args.rounds} "
                     f"rounds, {loss_kind}, churn={args.churn:g}/round, "
-                    f"transient={args.transient:g}/round, repair {repair_kind}"
+                    f"transient={args.transient:g}/round, repair "
+                    f"{repair_kind}{rotate_kind}"
                 ),
             )
         )

@@ -1,7 +1,10 @@
 """Extensions the paper points at but does not build (Sections 3.1, 4.2, 6)."""
 
 from repro.extensions.adaptive import AdaptiveQuantile
-from repro.extensions.balancing import RotatingTreeRunner
+from repro.extensions.balancing import (
+    FaultAwareRotatingRunner,
+    RotatingTreeRunner,
+)
 from repro.extensions.loss import (
     LossExperimentResult,
     LossyTreeNetwork,
@@ -15,6 +18,7 @@ from repro.extensions.sampling import (
 
 __all__ = [
     "AdaptiveQuantile",
+    "FaultAwareRotatingRunner",
     "RotatingTreeRunner",
     "LossExperimentResult",
     "LossyTreeNetwork",

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.synthetic import SyntheticWorkload
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.experiments.config import AlgorithmFactory, sketch_algorithms
 from repro.faults.network import (
     AdaptiveArqPolicy,
@@ -57,7 +57,10 @@ from repro.faults.plan import (
 )
 from repro.faults.repair import RepairRound, TreeRepair
 from repro.faults.watchdog import RootWatchdog
-from repro.network.routing import build_routing_tree
+from repro.network.routing import (
+    build_randomized_routing_tree,
+    build_routing_tree,
+)
 from repro.network.topology import PhysicalGraph, connected_random_graph
 from repro.network.tree import RoutingTree
 from repro.radio.energy import EnergyModel
@@ -126,6 +129,8 @@ class FaultSeriesPoint:
     repair_energy_mj: float = 0.0
     #: Per-round probability of a transient outage starting.
     transient_rate: float = 0.0
+    #: Tree rotations performed (load balancing under faults).
+    rotations: int = 0
 
 
 @dataclass
@@ -190,6 +195,15 @@ class FaultDriver:
        the watchdog noticed);
     3. :class:`~repro.errors.ProtocolError` re-initializes immediately,
        charged in the same round.
+
+    ``rotate_every`` adds fault-aware tree rotation on top: every that many
+    rounds a fresh randomized min-hop tree is sampled over the *full* graph
+    (currently-down vertices avoided as parents, sampling ETX-biased when
+    ``repair_metric="etx"``) and swapped in without touching the algorithm —
+    the continuous state is value-domain, so rotation needs no re-init, and
+    membership (detached sensors) carries straight over.  Rotation runs
+    before the repair pass, so a rotation that had no choice but to parent
+    someone under a down vertex is patched by the same round's repair.
     """
 
     def __init__(
@@ -205,10 +219,30 @@ class FaultDriver:
         repair: bool = True,
         radio_range: float = 35.0,
         watchdog_patience: int = 2,
+        repair_metric: str = "etx",
+        rotate_every: int = 0,
+        rotate_rng: np.random.Generator | None = None,
     ) -> None:
+        if rotate_every < 0:
+            raise ConfigurationError(
+                f"rotate_every must be >= 0, got {rotate_every}"
+            )
+        if rotate_every > 0 and graph is None:
+            raise ConfigurationError(
+                "tree rotation needs the physical graph (pass graph=...)"
+            )
         self.factory = factory
         self.spec = spec
         self.workload = workload
+        self.graph = graph
+        self.repair_metric = repair_metric
+        self.rotate_every = rotate_every
+        self._rotate_rng = (
+            rotate_rng
+            if rotate_rng is not None
+            else np.random.default_rng(20140324)
+        )
+        self.rotations = 0
         self.ledger = EnergyLedger(
             tree.num_vertices, tree.root, EnergyModel(), radio_range
         )
@@ -216,7 +250,9 @@ class FaultDriver:
         self.watchdog = RootWatchdog(tree, patience=watchdog_patience)
         self.repair: TreeRepair | None = None
         if repair and graph is not None:
-            self.repair = TreeRepair(graph, self.net, self.watchdog)
+            self.repair = TreeRepair(
+                graph, self.net, self.watchdog, parent_metric=repair_metric
+            )
         self.algorithm = factory(spec)
         self.last_answer: int | None = None
         self.reinits = 0
@@ -240,6 +276,45 @@ class FaultDriver:
         detached = self.repair.detached
         return tuple(v for v in live if v not in detached)
 
+    # -- fault-aware rotation -------------------------------------------------
+
+    def _rotate(self) -> None:
+        """Swap in a fresh randomized min-hop tree, faults taken into account.
+
+        Down vertices are avoided as parents (not excluded — a vertex whose
+        candidates are all down gets orphaned either way and the repair pass
+        re-attaches or detaches it this same round), and with the ETX metric
+        the parent sampling is biased away from links observed to drop
+        frames.  The algorithm state is untouched: filters and counters are
+        value-domain, so nodes merely adopt new parents.  The watchdog is
+        retargeted because its branch bookkeeping refers to the old tree.
+        """
+        assert self.graph is not None
+        root = self.net.tree.root
+        avoid = frozenset(
+            v
+            for v in range(self.net.tree.num_vertices)
+            if v != root and self.net.plan.is_down(v)
+        )
+        link_stats = (
+            self.net.link_stats if self.repair_metric == "etx" else None
+        )
+        tree = build_randomized_routing_tree(
+            self.graph,
+            self._rotate_rng,
+            root=root,
+            link_stats=link_stats,
+            avoid=avoid,
+        )
+        self.net.retarget(tree)
+        self.rotations += 1
+        members = (
+            self.repair.reachable_sensors()
+            if self.repair is not None
+            else tree.sensor_nodes
+        )
+        self.watchdog.retarget(tree, members)
+
     # -- the round loop -------------------------------------------------------
 
     def step(self, round_index: int) -> RoundReport | None:
@@ -249,6 +324,12 @@ class FaultDriver:
         live = net.live_sensor_nodes()
         if not live:
             return None
+        if (
+            self.rotate_every
+            and round_index
+            and round_index % self.rotate_every == 0
+        ):
+            self._rotate()
         values = np.asarray(self.workload.values(round_index))
         self.ledger.begin_round()
         log_start = len(net.collection_log)
@@ -421,6 +502,7 @@ class FaultDriver:
                 else 0.0
             ),
             transient_rate=transient_rate,
+            rotations=self.rotations,
         )
 
 
@@ -439,6 +521,8 @@ def run_fault_experiment(
     watchdog_patience: int = 2,
     repair: bool = True,
     adaptive_arq: bool = False,
+    repair_metric: str = "etx",
+    rotate_every: int = 0,
 ) -> FaultExperimentResult:
     """Sweep every algorithm over loss rates x retry budgets.
 
@@ -451,7 +535,10 @@ def run_fault_experiment(
     downtimes of mean ``transient_downtime``); ``adaptive_arq`` replaces
     the static retry sweep with one adaptive per-link policy per cell;
     ``repair=False`` disables orphan re-attach and membership patching,
-    leaving the PR 2 watchdog-only baseline.
+    leaving the PR 2 watchdog-only baseline.  ``repair_metric`` picks how
+    orphans rank candidate parents (``"etx"`` or ``"nearest"``);
+    ``rotate_every`` turns on fault-aware tree rotation every that many
+    rounds (0 = never), seeded per cell like the fault plan.
     """
     points: list[FaultSeriesPoint] = []
     retry_axis: tuple[int | str, ...] = ("adp",) if adaptive_arq else retry_budgets
@@ -498,6 +585,11 @@ def run_fault_experiment(
                     repair=repair,
                     radio_range=radio_range,
                     watchdog_patience=watchdog_patience,
+                    repair_metric=repair_metric,
+                    rotate_every=rotate_every,
+                    rotate_rng=np.random.default_rng(
+                        (seed, loss_key, retry_key, 11)
+                    ),
                 )
                 driver.run(num_rounds)
                 points.append(

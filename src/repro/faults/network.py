@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan, IndependentLoss
+from repro.network.linkstats import LinkQualityEstimator
 from repro.network.tree import RoutingTree
 from repro.radio.ledger import EnergyLedger
 from repro.radio.message import ack_cost, message_bits
@@ -96,8 +97,17 @@ class AdaptiveArqPolicy(ArqPolicy):
     a Gilbert-Elliott burst ramps its budget up within a few rounds — the
     per-link replacement for the global ``retries`` knob.
 
+    The learned state lives in a :class:`~repro.network.linkstats.
+    LinkQualityEstimator` (pass ``estimator`` to share one with other
+    consumers; :class:`FaultyTreeNetwork` adopts the policy's estimator as
+    its :attr:`~FaultyTreeNetwork.link_stats` so ARQ, tree repair and
+    rotation all read the same per-link picture).
+
     Note: instances carry mutable learning state — use one per experiment
-    cell, not a shared constant.
+    cell, not a shared constant.  Consequently equality is *identity*: two
+    policies with the same configuration but different learned state are
+    different policies, and the inherited frozen-dataclass ``__eq__``
+    (which compared ``max_retries`` only) would lie about that.
     """
 
     def __init__(
@@ -106,6 +116,7 @@ class AdaptiveArqPolicy(ArqPolicy):
         target_delivery: float = 0.99,
         smoothing: float = 0.25,
         prior_loss: float = 0.05,
+        estimator: LinkQualityEstimator | None = None,
     ) -> None:
         if max_retries < 1:
             raise ConfigurationError(
@@ -115,19 +126,23 @@ class AdaptiveArqPolicy(ArqPolicy):
             raise ConfigurationError(
                 f"target_delivery must be in (0, 1), got {target_delivery}"
             )
-        if not 0.0 < smoothing <= 1.0:
-            raise ConfigurationError(
-                f"smoothing must be in (0, 1], got {smoothing}"
-            )
-        if not 0.0 <= prior_loss < 1.0:
-            raise ConfigurationError(
-                f"prior_loss must be in [0, 1), got {prior_loss}"
+        if estimator is None:
+            estimator = LinkQualityEstimator(
+                smoothing=smoothing, prior_loss=prior_loss
             )
         object.__setattr__(self, "max_retries", max_retries)
         object.__setattr__(self, "target_delivery", target_delivery)
-        object.__setattr__(self, "smoothing", smoothing)
-        object.__setattr__(self, "prior_loss", prior_loss)
-        object.__setattr__(self, "_loss_ewma", {})
+        object.__setattr__(self, "estimator", estimator)
+
+    @property
+    def smoothing(self) -> float:
+        """EWMA weight of the newest loss sample (the estimator's)."""
+        return self.estimator.smoothing
+
+    @property
+    def prior_loss(self) -> float:
+        """Loss assumed for never-observed links (the estimator's)."""
+        return self.estimator.prior_loss
 
     @property
     def enabled(self) -> bool:
@@ -140,7 +155,7 @@ class AdaptiveArqPolicy(ArqPolicy):
 
     def link_loss(self, sender: int, receiver: int) -> float:
         """Current loss estimate for the directed link."""
-        return self._loss_ewma.get((sender, receiver), self.prior_loss)
+        return self.estimator.loss(sender, receiver)
 
     def attempts_for(self, sender: int, receiver: int) -> int:
         loss = min(max(self.link_loss(sender, receiver), 0.0), 0.999)
@@ -153,11 +168,22 @@ class AdaptiveArqPolicy(ArqPolicy):
         return max(1, min(attempts, self.max_attempts))
 
     def observe(self, sender: int, receiver: int, delivered: bool) -> None:
-        key = (sender, receiver)
-        previous = self._loss_ewma.get(key, self.prior_loss)
-        sample = 0.0 if delivered else 1.0
-        self._loss_ewma[key] = (
-            (1.0 - self.smoothing) * previous + self.smoothing * sample
+        self.estimator.observe(sender, receiver, delivered)
+
+    # The frozen-dataclass __eq__/__repr__ inherited from ArqPolicy compare
+    # and print ``max_retries`` alone, silently equating policies whose
+    # learned per-link state (and even target_delivery/smoothing) differ.
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(max_retries={self.max_retries}, "
+            f"target_delivery={self.target_delivery}, "
+            f"smoothing={self.smoothing}, prior_loss={self.prior_loss}, "
+            f"links_observed={self.estimator.num_links})"
         )
 
 
@@ -171,10 +197,26 @@ class FaultyTreeNetwork(TreeNetwork):
         plan: FaultPlan | None = None,
         arq: ArqPolicy | None = None,
         virtual_vertices: frozenset[int] | set[int] = frozenset(),
+        link_stats: LinkQualityEstimator | None = None,
     ) -> None:
         super().__init__(tree, ledger, virtual_vertices)
         self.plan = plan if plan is not None else FaultPlan()
         self.arq = arq if arq is not None else ArqPolicy()
+        if link_stats is None:
+            # One shared per-link picture: an adaptive ARQ policy already
+            # learns into an estimator, so repair and rotation read that
+            # same one instead of keeping a private copy.
+            link_stats = getattr(self.arq, "estimator", None)
+        #: Per-directed-link loss/ETX estimates, fed by every ARQ exchange.
+        self.link_stats = (
+            link_stats if link_stats is not None else LinkQualityEstimator()
+        )
+        # When the policy learns into the shared estimator itself (its
+        # ACK-confirmed viewpoint already covers the uplink), the network
+        # must not fold the raw data-frame outcome in a second time.
+        self._feeds_uplink_stats = (
+            getattr(self.arq, "estimator", None) is not self.link_stats
+        )
         self._track_sources = True
         #: Data frames that failed to reach their (live) parent, attempts
         #: counted individually.
@@ -227,6 +269,10 @@ class FaultyTreeNetwork(TreeNetwork):
                 # frame survives the channel.
                 self.ledger.charge_recv(parent, cost)
                 frame_ok = not self.plan.transmission_lost(vertex, parent)
+                if self._feeds_uplink_stats:
+                    # Channel truth for the uplink (a down parent is not a
+                    # channel sample and must not poison the loss estimate).
+                    self.link_stats.observe(vertex, parent, frame_ok)
             if frame_ok:
                 delivered = True
             else:
@@ -239,7 +285,10 @@ class FaultyTreeNetwork(TreeNetwork):
                 self.ledger.charge_recv(vertex, ack)
                 self.acks_sent += 1
                 bits += ack.total_bits
-                if not self.plan.transmission_lost(parent, vertex):
+                ack_ok = not self.plan.transmission_lost(parent, vertex)
+                # The ACK samples the downlink — the other half of ETX.
+                self.link_stats.observe(parent, vertex, ack_ok)
+                if ack_ok:
                     arq.observe(vertex, parent, True)
                     break
                 self.lost_acks += 1

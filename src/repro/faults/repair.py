@@ -6,13 +6,19 @@ This module adds the reactions a real deployment uses first:
 
 * **Orphan re-attach** — when a vertex's tree parent goes down, the vertex
   probes its physical neighbourhood (one beacon, every up neighbour answers)
-  and re-attaches its whole subtree to the nearest up neighbour that still
-  has a fully-up path to the root and lies outside its own subtree.  The
-  routing tree is rewritten (:func:`~repro.network.tree.tree_reparented`),
-  the engine swaps it in (:meth:`~repro.sim.engine.TreeNetwork.retarget`),
-  and the adopting parent reports the membership change up to the root.
-  Only when *no* candidate is in radio range does the subtree stay cut off
-  and the driver falls back to the watchdog's re-initialization.
+  and re-attaches its whole subtree to the best up neighbour that still
+  has a fully-up path to the root and lies outside its own subtree.  "Best"
+  defaults to the lowest ETX-weighted path cost to the root (the shared
+  :class:`~repro.network.linkstats.LinkQualityEstimator` the ARQ layer
+  feeds), falling back to plain Euclidean distance while no link has ever
+  been observed — or always, with ``parent_metric="nearest"`` (the PR 3
+  behaviour, kept as the comparison baseline).  All of a round's adoptions
+  are applied with one batched tree rewrite
+  (:func:`~repro.network.tree.tree_multi_reparented`), the engine swaps it
+  in (:meth:`~repro.sim.engine.TreeNetwork.retarget`), and the adopting
+  parents report the membership change up to the root.  Only when *no*
+  candidate is in radio range does the subtree stay cut off and the driver
+  falls back to the watchdog's re-initialization.
 
 * **Membership patching (detach / rejoin)** — the root tracks which sensors
   can currently report (up + connected).  Nodes that leave (death, outage,
@@ -48,7 +54,7 @@ from repro.errors import ConfigurationError
 from repro.faults.network import FaultyTreeNetwork
 from repro.faults.watchdog import RootWatchdog
 from repro.network.topology import PhysicalGraph
-from repro.network.tree import tree_reparented
+from repro.network.tree import tree_multi_reparented
 from repro.radio.message import MessageCost, ack_cost, message_bits
 
 #: Phase label repair traffic is charged under in ``net.phase_bits``.
@@ -82,6 +88,8 @@ class RepairStats:
     fallback_count: int = 0
     detach_count: int = 0
     rejoin_count: int = 0
+    #: Probe beacons broadcast by orphans looking for a parent.
+    probe_count: int = 0
     #: Total energy [J] spent on repair traffic (probes, adopts, reports).
     repair_energy_j: float = 0.0
     #: On-air bits of repair traffic.
@@ -98,22 +106,38 @@ class TreeRepair:
             within radio range ``rho``).
         net: the fault-injecting network whose tree is repaired in place.
         watchdog: optional root watchdog to retarget on membership changes.
+        parent_metric: how an orphan ranks its candidate parents —
+            ``"etx"`` (default) by ETX-weighted path cost to the root using
+            the network's shared link-quality estimator (Euclidean distance
+            breaks ties and takes over entirely while no relevant link has
+            ever been observed), or ``"nearest"`` for the pure
+            nearest-neighbour adoption of PR 3.
     """
+
+    #: Valid ``parent_metric`` values.
+    PARENT_METRICS = ("etx", "nearest")
 
     def __init__(
         self,
         graph: PhysicalGraph,
         net: FaultyTreeNetwork,
         watchdog: RootWatchdog | None = None,
+        parent_metric: str = "etx",
     ) -> None:
         if graph.num_vertices != net.tree.num_vertices:
             raise ConfigurationError(
                 f"graph has {graph.num_vertices} vertices but tree has "
                 f"{net.tree.num_vertices}"
             )
+        if parent_metric not in self.PARENT_METRICS:
+            raise ConfigurationError(
+                f"parent_metric must be one of {self.PARENT_METRICS}, "
+                f"got {parent_metric!r}"
+            )
         self.graph = graph
         self.net = net
         self.watchdog = watchdog
+        self.parent_metric = parent_metric
         self.plan = net.plan
         self.stats = RepairStats()
         #: Sensors the root currently considers outside the query.
@@ -189,42 +213,111 @@ class TreeRepair:
             self.watchdog.retarget(self.net.tree, tuple(sorted(reachable)))
 
     # -- orphan re-attach -----------------------------------------------------
+    #
+    # The whole pass works on *working copies* of the parent/link arrays:
+    # adoptions mutate the copies, eligibility checks walk them, and the
+    # real RoutingTree is rebuilt exactly once per round via
+    # tree_multi_reparented (a cascade of k adoptions used to pay k full
+    # O(n) derived-structure rebuilds — quadratic in the cascade size).
 
-    def _orphans(self) -> list[int]:
-        """Up vertices whose tree parent is down, shallowest first."""
-        tree = self.net.tree
+    def _orphans_in(self, parent: list[int]) -> list[int]:
+        """Up sensors whose (working) parent is down, shallowest first."""
         orphans = [
             v
-            for v in tree.sensor_nodes
-            if not self.plan.is_down(v) and self.plan.is_down(tree.parent[v])
+            for v in self.net.tree.sensor_nodes
+            if not self.plan.is_down(v) and self.plan.is_down(parent[v])
         ]
-        orphans.sort(key=lambda v: (tree.depth[v], v))
+        orphans.sort(key=lambda v: (self._depth_in(parent, v), v))
         return orphans
 
+    def _depth_in(self, parent: list[int], vertex: int) -> int:
+        root, depth = self.net.tree.root, 0
+        while vertex != root:
+            vertex = parent[vertex]
+            depth += 1
+        return depth
+
+    def _in_subtree(self, parent: list[int], vertex: int, ancestor: int) -> bool:
+        """Whether ``vertex`` lies in ``ancestor``'s (working) subtree."""
+        root = self.net.tree.root
+        while True:
+            if vertex == ancestor:
+                return True
+            if vertex == root:
+                return False
+            vertex = parent[vertex]
+
+    def _path_up_ok(self, parent: list[int], vertex: int) -> bool:
+        """Whether the whole (working) path from ``vertex`` to the root is up."""
+        root = self.net.tree.root
+        while vertex != root:
+            if self.plan.is_down(vertex):
+                return False
+            vertex = parent[vertex]
+        return True
+
+    def _subtree_in(self, parent: list[int], vertex: int) -> frozenset[int]:
+        """All vertices of ``vertex``'s subtree under the working array."""
+        root = self.net.tree.root
+        children: dict[int, list[int]] = {}
+        for v in range(len(parent)):
+            if v != root:
+                children.setdefault(parent[v], []).append(v)
+        out: set[int] = set()
+        stack = [vertex]
+        while stack:
+            v = stack.pop()
+            out.add(v)
+            stack.extend(children.get(v, ()))
+        return frozenset(out)
+
     def _reattach_orphans(self) -> list[tuple[int, int]]:
-        reattached: list[tuple[int, int]] = []
+        tree = self.net.tree
+        parent = list(tree.parent)
+        link = list(tree.link_distance)
+        moves: list[tuple[int, int, float]] = []
         failed: set[int] = set()
         while True:
-            pending = [v for v in self._orphans() if v not in failed]
+            pending = [v for v in self._orphans_in(parent) if v not in failed]
             if not pending:
                 break
             orphan = pending[0]
-            candidate = self._probe_for_parent(orphan)
+            candidate = self._probe_for_parent(orphan, parent)
             if candidate is None:
                 failed.add(orphan)
                 continue
-            self._adopt(orphan, candidate)
-            reattached.append((orphan, candidate))
+            distance = self._distance(orphan, candidate)
+            self._charge_adopt_handshake(orphan, candidate, distance)
+            if failed:
+                # A successful adopt restores root connectivity for exactly
+                # the orphan's subtree; a previously failed orphan can only
+                # have gained an eligible candidate if it physically
+                # neighbours that subtree.  Everyone else's probe would
+                # replay the identical (charged!) beacon exchange and fail
+                # identically — don't re-probe them.
+                reconnected = self._subtree_in(parent, orphan)
+                failed = {
+                    v
+                    for v in failed
+                    if not any(
+                        n in reconnected for n in self.graph.neighbors(v)
+                    )
+                }
+            parent[orphan] = candidate
+            link[orphan] = distance
+            moves.append((orphan, candidate, distance))
             self._unattachable.discard(orphan)
-            # A successful adopt restores connectivity below the orphan, so
-            # neighbours that found no live-path candidate before may now:
-            # let them probe again this round (cascaded repairs).
-            failed.clear()
+        if moves:
+            self.net.retarget(tree_multi_reparented(tree, moves))
+            # The adopting parents report the membership change up the
+            # repaired tree so the root can patch its branch bookkeeping.
+            for _, new_parent, _ in moves:
+                self._report_to_root(new_parent)
         # Orphans whose parent recovered (or got re-attached) are no longer
         # orphans; forget them so a later relapse counts as a fresh failure.
         self._unattachable &= failed
         self._newly_unattachable = failed - self._unattachable
-        return reattached
+        return [(orphan, new_parent) for orphan, new_parent, _ in moves]
 
     def _first_time_fallbacks(self) -> list[int]:
         fresh = sorted(self._newly_unattachable)
@@ -232,51 +325,86 @@ class TreeRepair:
         self._newly_unattachable = set()
         return fresh
 
-    def _probe_for_parent(self, orphan: int) -> int | None:
-        """One probe beacon + replies; returns the nearest eligible neighbour.
+    def _probe_for_parent(self, orphan: int, parent: list[int]) -> int | None:
+        """One probe beacon + replies; returns the best eligible neighbour.
 
-        Eligible: physically in range, up, outside the orphan's own subtree,
-        and with a fully-up tree path to the root.
+        Eligible: physically in range, up, outside the orphan's own
+        (working) subtree, and with a fully-up tree path to the root.
+        Ranking follows :attr:`parent_metric` — ETX-weighted path cost to
+        the root when link estimates exist, Euclidean distance otherwise.
         """
-        tree = self.net.tree
+        root = self.net.tree.root
         ack = ack_cost()
         # The probe is a local broadcast at full radio range; every up
         # neighbour pays the listen, but only neighbours that actually hold
         # a working route (and are not in the orphan's own subtree) answer
         # with an ack-sized beacon — nodes without a route to offer keep
         # quiet, exactly like route advertisements in CTP/RPL.
+        self.stats.probe_count += 1
         self._charge_send(orphan, ack, self.graph.radio_range)
-        subtree = frozenset(tree.subtree_vertices(orphan))
-        reachable = self._reachable()
-        best: int | None = None
-        best_distance = float("inf")
+        stats = self.net.link_stats if self.parent_metric == "etx" else None
+        candidates: list[tuple[float, float, int, bool]] = []
         for neighbor in self.graph.neighbors(orphan):
-            if neighbor != tree.root and self.plan.is_down(neighbor):
+            if neighbor != root and self.plan.is_down(neighbor):
                 continue
             self._charge_recv(neighbor, ack)
-            if neighbor in subtree or not reachable[neighbor]:
+            if self._in_subtree(parent, neighbor, orphan) or not (
+                self._path_up_ok(parent, neighbor)
+            ):
                 continue
             distance = self._distance(orphan, neighbor)
             self._charge_send(neighbor, ack, distance)
             self._charge_recv(orphan, ack)
-            if distance < best_distance:
-                best, best_distance = neighbor, distance
-        return best
+            if stats is None:
+                etx_cost, observed = 0.0, False
+            else:
+                etx_cost, observed = self._etx_path_cost(
+                    stats, parent, orphan, neighbor
+                )
+            candidates.append((etx_cost, distance, neighbor, observed))
+        if not candidates:
+            return None
+        if stats is not None and any(observed for *_, observed in candidates):
+            best = min(candidates)
+        else:
+            # No relevant link ever observed: ETX would just replay the
+            # prior everywhere, so fall back to nearest-neighbour adoption.
+            best = min(candidates, key=lambda c: (c[1], c[2]))
+        return best[2]
 
-    def _adopt(self, orphan: int, new_parent: int) -> None:
-        """Adopt handshake, tree rewrite, and membership report to the root."""
-        distance = self._distance(orphan, new_parent)
+    def _etx_path_cost(
+        self,
+        stats,
+        parent: list[int],
+        orphan: int,
+        candidate: int,
+    ) -> tuple[float, bool]:
+        """ETX of the probe link plus the candidate's (working) path to root.
+
+        Also reports whether *any* link on that route has ever been
+        observed — if none has, the cost is pure prior and the caller
+        prefers the distance ranking instead.
+        """
+        root = self.net.tree.root
+        cost = stats.etx(orphan, candidate)
+        observed = stats.link_observed(orphan, candidate)
+        vertex = candidate
+        while vertex != root:
+            up = parent[vertex]
+            cost += stats.etx(vertex, up)
+            observed = observed or stats.link_observed(vertex, up)
+            vertex = up
+        return cost, observed
+
+    def _charge_adopt_handshake(
+        self, orphan: int, new_parent: int, distance: float
+    ) -> None:
+        """Adopt request / accept, both ack-sized control frames."""
         ack = ack_cost()
-        # Adopt request / accept, both ack-sized control frames.
         self._charge_send(orphan, ack, distance)
         self._charge_recv(new_parent, ack)
         self._charge_send(new_parent, ack, distance)
         self._charge_recv(orphan, ack)
-        new_tree = tree_reparented(self.net.tree, orphan, new_parent, distance)
-        self.net.retarget(new_tree)
-        # The adopting parent reports the membership change up the (new)
-        # tree so the root can patch its branch bookkeeping.
-        self._report_to_root(new_parent)
 
     # -- membership sync ------------------------------------------------------
 

@@ -1,11 +1,13 @@
 """WSN topology substrate: node placement, connectivity and routing trees."""
 
 from repro.network.geometry import Point, pairwise_distances, random_positions
+from repro.network.linkstats import LinkQualityEstimator
 from repro.network.topology import PhysicalGraph, build_physical_graph
 from repro.network.routing import build_routing_tree
 from repro.network.tree import RoutingTree
 
 __all__ = [
+    "LinkQualityEstimator",
     "Point",
     "PhysicalGraph",
     "RoutingTree",

@@ -14,6 +14,7 @@ from heapq import heappop, heappush
 import numpy as np
 
 from repro.errors import TopologyError
+from repro.network.linkstats import LinkQualityEstimator
 from repro.network.topology import PhysicalGraph
 from repro.network.tree import RoutingTree, tree_from_parents
 
@@ -58,15 +59,34 @@ def build_routing_tree(graph: PhysicalGraph, root: int = 0) -> RoutingTree:
 
 
 def build_randomized_routing_tree(
-    graph: PhysicalGraph, rng: "np.random.Generator", root: int = 0
+    graph: PhysicalGraph,
+    rng: "np.random.Generator",
+    root: int = 0,
+    link_stats: "LinkQualityEstimator | None" = None,
+    avoid: frozenset[int] | set[int] = frozenset(),
 ) -> RoutingTree:
-    """A min-hop tree with uniformly random tie-breaks among parents.
+    """A min-hop tree with randomized tie-breaks among parent candidates.
 
-    Every vertex keeps its BFS depth but picks uniformly among all
-    neighbours one hop closer to the root.  Re-sampling this tree spreads
-    the forwarding load over different hotspot candidates — the basis of
-    the tree-rotation load-balancing extension
-    (:mod:`repro.extensions.balancing`).
+    Every vertex keeps its BFS depth and picks among all neighbours one hop
+    closer to the root.  Re-sampling this tree spreads the forwarding load
+    over different hotspot candidates — the basis of the tree-rotation
+    load-balancing extension (:mod:`repro.extensions.balancing`).
+
+    By default the pick is uniform.  Two knobs make rotation fault-aware:
+
+    * ``link_stats`` — an estimator whose :meth:`~repro.network.linkstats.
+      LinkQualityEstimator.etx` weights the sampling by ``1 / ETX``, so a
+      link observed to drop frames is proportionally less likely to carry
+      the rotated tree (and never categorically excluded: estimates decay,
+      and a uniformly bad neighbourhood still needs a parent);
+    * ``avoid`` — vertices that must not be chosen as parents when any
+      alternative exists (e.g. nodes currently down).  When *every*
+      candidate of a vertex is in ``avoid``, the pick falls back to the
+      full candidate set — the child's subtree will be orphaned either way
+      and the repair layer deals with it.
+
+    Because every vertex still parents one hop closer to the root, any
+    combination of picks yields a valid min-hop tree (no cycles possible).
     """
     n = graph.num_vertices
     if not 0 <= root < n:
@@ -98,7 +118,18 @@ def build_randomized_routing_tree(
             for neighbor in graph.neighbors(vertex)
             if depth[neighbor] == depth[vertex] - 1
         ]
-        parent[vertex] = int(candidates[rng.integers(0, len(candidates))])
+        if avoid:
+            preferred = [c for c in candidates if c not in avoid]
+            if preferred:
+                candidates = preferred
+        if link_stats is not None and len(candidates) > 1:
+            weights = np.array(
+                [1.0 / link_stats.etx(vertex, c) for c in candidates]
+            )
+            choice = rng.choice(len(candidates), p=weights / weights.sum())
+            parent[vertex] = int(candidates[int(choice)])
+        else:
+            parent[vertex] = int(candidates[rng.integers(0, len(candidates))])
     return tree_from_parents(root, parent, graph.positions)
 
 

@@ -10,6 +10,7 @@ on every round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -216,6 +217,42 @@ def tree_reparented(
     parent[vertex] = new_parent
     link = list(tree.link_distance)
     link[vertex] = float(link_distance)
+    return _tree_from_parent_links(tree.root, parent, link, relays=tree.relays)
+
+
+def tree_multi_reparented(
+    tree: RoutingTree,
+    moves: "Sequence[tuple[int, int, float]]",
+) -> RoutingTree:
+    """A copy of ``tree`` with many re-parentings applied in one rebuild.
+
+    ``moves`` is a sequence of ``(vertex, new_parent, link_distance)``
+    entries, applied in order (a later move for the same vertex wins).
+    Tree repair applies a whole round's cascade of adoptions through this
+    single call instead of rebuilding the derived traversal structures once
+    per adoption — the O(n) rebuild happens once per round, not once per
+    orphan.
+
+    Moves are validated jointly: the *final* parent array must still be a
+    single tree spanning all vertices, so a combination of individually
+    plausible moves that creates a cycle (e.g. two subtrees adopting into
+    each other) raises :class:`~repro.errors.TopologyError`.
+    """
+    if not moves:
+        return tree
+    parent = list(tree.parent)
+    link = list(tree.link_distance)
+    for vertex, new_parent, link_distance in moves:
+        if vertex == tree.root:
+            raise TopologyError("cannot re-parent the root")
+        if not 0 <= new_parent < tree.num_vertices:
+            raise TopologyError(f"new parent {new_parent} out of range")
+        if link_distance < 0.0:
+            raise TopologyError(
+                f"link_distance must be >= 0, got {link_distance}"
+            )
+        parent[vertex] = new_parent
+        link[vertex] = float(link_distance)
     return _tree_from_parent_links(tree.root, parent, link, relays=tree.relays)
 
 

@@ -90,6 +90,9 @@ def assert_differential_invariant(
     retries: int = 8,
     radio_range: float | None = None,
     min_trustworthy: int = 1,
+    rotate_every: int = 0,
+    rotate_seed: int = 0,
+    repair_metric: str = "etx",
 ) -> dict[str, list[RoundReport]]:
     """Differential invariant: exact algorithms == oracle on trustworthy rounds.
 
@@ -102,6 +105,10 @@ def assert_differential_invariant(
     traffic or left membership out of sync are exempt (the root cannot know
     better), but at least ``min_trustworthy`` rounds must qualify, so the
     invariant cannot pass vacuously.
+
+    ``rotate_every`` adds fault-aware tree rotation to the schedule (seeded
+    by ``rotate_seed`` so every algorithm sees identical rotations);
+    ``repair_metric`` selects the orphan-adoption ranking under test.
     """
     workload = SequenceWorkload(rounds)
     reports_by_name: dict[str, list[RoundReport]] = {}
@@ -118,6 +125,9 @@ def assert_differential_invariant(
             radio_range=(
                 radio_range if radio_range is not None else graph.radio_range
             ),
+            repair_metric=repair_metric,
+            rotate_every=rotate_every,
+            rotate_rng=np.random.default_rng(rotate_seed),
         )
         reports = driver.run(len(rounds))
         trustworthy = 0
