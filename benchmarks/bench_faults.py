@@ -120,3 +120,76 @@ def test_etx_repair_vs_nearest_neighbour(benchmark):
     # Strictly cheaper repair: fewer, better-aimed adoptions.
     assert etx.repair_energy_mj <= nearest.repair_energy_mj
     assert etx.hotspot_energy_mj <= nearest.hotspot_energy_mj
+
+
+# Pinned acceptance cell for the heal-patience A/B: the ROADMAP's old
+# crash reproducer (seed 42, sustained transient churn).  Like ETX_CELL,
+# deliberately not scaled — the claim is a seeded A/B on one deployment.
+HEAL_CELL = dict(
+    seed=42,
+    loss_rates=(0.08,),
+    retry_budgets=(2,),
+    transient_rate=0.05,
+    num_nodes=60,
+    num_rounds=60,
+)
+
+
+def compute_heal_patience_comparison():
+    """The parked-orphan queue vs the legacy same-round re-init cliff."""
+    cells = {}
+    for patience in (1, 3):
+        result = run_fault_experiment(
+            {"POS": default_algorithms()["POS"]},
+            heal_patience=patience,
+            **HEAL_CELL,
+        )
+        (cells[patience],) = result.points
+    return cells
+
+
+def test_partition_healing_vs_reinit_cliff(benchmark):
+    """Multi-round partition healing vs the same-round re-init fallback.
+
+    With ``heal_patience=3`` parked orphans must actually re-attach in
+    later rounds (healed partitions > 0), re-initializations must drop,
+    and the combined repair + re-init energy must come in *below* the
+    legacy cliff — patience converts re-init broadcasts into a few
+    duty-cycled listen windows and wins on both energy and exactness.
+    """
+    cells = run_once(benchmark, compute_heal_patience_comparison)
+    cliff, patient = cells[1], cells[3]
+
+    header = (
+        f"{'patience':>8s} {'exact':>7s} {'reinit':>7s} {'healed':>7s} "
+        f"{'parked':>7s} {'degr':>5s} {'repair mJ':>10s} {'reinit mJ':>10s}"
+    )
+    rows = [
+        f"{patience:8d} {p.exact_fraction:7.3f} {p.reinit_count:7d} "
+        f"{p.healed_partitions:7d} {p.parked_orphan_rounds:7d} "
+        f"{p.degraded_rounds:5d} {p.repair_energy_mj:10.3f} "
+        f"{p.reinit_energy_mj:10.3f}"
+        for patience, p in cells.items()
+    ]
+    text = "\n".join(
+        ["partition healing A/B: heal_patience 3 vs the re-init cliff",
+         header] + rows
+    ) + "\n"
+    print("\n" + text)
+    archive("faults_heal_patience", text)
+
+    # Both runs survive the old last-participant crash end to end.
+    assert cliff.rounds == patient.rounds == HEAL_CELL["num_rounds"]
+    # The legacy cliff never parks, never heals.
+    assert cliff.healed_partitions == 0 and cliff.parked_orphan_rounds == 0
+    # Patience actually heals partitions in later rounds...
+    assert patient.healed_partitions > 0
+    # ...which converts re-initializations into waiting...
+    assert patient.reinit_count < cliff.reinit_count
+    # ...at lower combined repair + re-init energy than the cliff...
+    assert (
+        patient.repair_energy_mj + patient.reinit_energy_mj
+        < cliff.repair_energy_mj + cliff.reinit_energy_mj
+    )
+    # ...without giving back exactness.
+    assert patient.exact_fraction >= cliff.exact_fraction

@@ -131,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
         "ARQ controller (one 'adp' cell per loss rate)",
     )
     faults.add_argument(
+        "--heal-patience", type=int, default=1, metavar="N",
+        help="rounds an unattachable orphan stays parked (duty-cycled, "
+        "re-probing) before the re-init fallback fires; 1 = the legacy "
+        "same-round fallback",
+    )
+    faults.add_argument(
         "--rotate", type=int, default=0, metavar="N",
         help="rotate to a fresh randomized min-hop tree every N rounds "
         "(0 = never); rotation avoids down parents and composes with repair",
@@ -324,6 +330,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             adaptive_arq=args.adaptive_arq,
             repair_metric="etx" if args.etx else "nearest",
             rotate_every=args.rotate,
+            heal_patience=args.heal_patience,
         )
         loss_kind = (
             f"Gilbert-Elliott bursts (mean length {args.burst:g})"
@@ -336,6 +343,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         rotate_kind = (
             f", rotate every {args.rotate}" if args.rotate else ""
         )
+        heal_kind = (
+            f", heal-patience {args.heal_patience}"
+            if args.heal_patience > 1
+            else ""
+        )
         print(
             format_fault_table(
                 result,
@@ -343,7 +355,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"fault injection: {args.nodes} nodes, {args.rounds} "
                     f"rounds, {loss_kind}, churn={args.churn:g}/round, "
                     f"transient={args.transient:g}/round, repair "
-                    f"{repair_kind}{rotate_kind}"
+                    f"{repair_kind}{rotate_kind}{heal_kind}"
                 ),
             )
         )

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.constants import VALUE_BITS
 from repro.core.payloads import ValidationPayload, ValueSetPayload
-from repro.errors import ProtocolError
+from repro.errors import MembershipError, ProtocolError
 from repro.sim.engine import TreeNetwork
 from repro.sim.oracle import quantile_rank
 from repro.types import QuerySpec, RoundOutcome
@@ -274,11 +274,18 @@ class ContinuousQuantileAlgorithm(ABC):
         tracked population so ``k`` keeps following Definition 2.1; exact
         algorithms additionally patch their counters/state in overrides
         (which must call ``super().detach(...)`` first).
+
+        The population may legally reach zero: under sustained transient
+        churn even the last participating sensor can leave.  The query then
+        holds no answerable rank — callers (the fault driver) must notice
+        ``population(net) == 0`` and degrade instead of running a round.
         """
         if vertex in self._detached_vertices:
-            raise ProtocolError(f"vertex {vertex} is already detached")
-        if self.population(net) <= 1:
-            raise ProtocolError("cannot detach the last participating sensor")
+            raise MembershipError(
+                f"cannot detach vertex {vertex}: already detached "
+                f"(population {self.population(net)} of "
+                f"{net.num_sensor_nodes})"
+            )
         self._detached_vertices.add(vertex)
         self._hints_stale = True
 
@@ -291,7 +298,11 @@ class ContinuousQuantileAlgorithm(ABC):
         again.
         """
         if vertex not in self._detached_vertices:
-            raise ProtocolError(f"vertex {vertex} is not detached")
+            raise MembershipError(
+                f"cannot rejoin vertex {vertex}: never detached "
+                f"(population {self.population(net)} of "
+                f"{net.num_sensor_nodes})"
+            )
         self._detached_vertices.discard(vertex)
         self._hints_stale = True
 
@@ -305,7 +316,11 @@ class ContinuousQuantileAlgorithm(ABC):
         """
         detached = set(detached)
         if net.num_sensor_nodes - len(detached) < 1:
-            raise ProtocolError("no participating sensors left")
+            raise MembershipError(
+                f"cannot reset participation onto an empty population "
+                f"({len(detached)} of {net.num_sensor_nodes} sensors "
+                f"detached)"
+            )
         self._detached_vertices = detached
         # The caller re-initializes next, which re-seeds exact counters.
         self._hints_stale = False

@@ -28,6 +28,16 @@ class ProtocolError(ReproError):
     """
 
 
+class MembershipError(ProtocolError):
+    """The query-membership contract (detach / rejoin) was violated.
+
+    Raised when a vertex is detached twice, rejoined without ever having
+    been detached, or participation is reset onto an empty population.
+    Messages always carry the vertex id and the current participating
+    population so churn schedules can be debugged from the traceback alone.
+    """
+
+
 class EnergyError(ReproError):
     """Energy accounting was asked to do something impossible.
 

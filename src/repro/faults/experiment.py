@@ -131,6 +131,16 @@ class FaultSeriesPoint:
     transient_rate: float = 0.0
     #: Tree rotations performed (load balancing under faults).
     rotations: int = 0
+    #: Rounds served in DEGRADED state (no participating sensor; the root
+    #: answered with the last trustworthy value, flagged untrustworthy).
+    degraded_rounds: int = 0
+    #: Parked orphans whose partition healed on a later round's re-probe
+    #: (re-attached, or the old parent recovered) — re-inits avoided.
+    healed_partitions: int = 0
+    #: Orphan-rounds spent parked (duty-cycled, awaiting a heal).
+    parked_orphan_rounds: int = 0
+    #: Energy [mJ] spent on re-initialization rounds' traffic.
+    reinit_energy_mj: float = 0.0
 
 
 @dataclass
@@ -163,7 +173,8 @@ class RoundReport:
     """What one driver round produced (for tests and invariant harnesses)."""
 
     round_index: int
-    #: The root's answer this round (None only while initialization drowns).
+    #: The root's answer this round (None only while initialization drowns
+    #: or the run degrades before ever initializing).
     answer: int | None
     #: Sensors that are up this round.
     live: tuple[int, ...]
@@ -179,6 +190,14 @@ class RoundReport:
     #: physical reachability.  On trustworthy rounds an *exact* algorithm's
     #: answer must equal the oracle over the participating population.
     trustworthy: bool
+    #: True when the query had no participating sensor this round: the
+    #: algorithm did not run and ``answer`` is the last trustworthy answer
+    #: the root still holds (stale by construction).
+    degraded: bool = False
+    #: Why the round degraded — ``"all-sensors-down"`` (nothing is up) or
+    #: ``"no-participants"`` (sensors are up but all detached, e.g. parked
+    #: behind an unhealed partition).  ``None`` on normal rounds.
+    degraded_reason: str | None = None
 
 
 class FaultDriver:
@@ -194,7 +213,18 @@ class FaultDriver:
        *cancels* a pending watchdog re-init (the repair already fixed what
        the watchdog noticed);
     3. :class:`~repro.errors.ProtocolError` re-initializes immediately,
-       charged in the same round.
+       charged in the same round;
+    4. when churn leaves the query with *no* participating sensor the
+       driver enters the DEGRADED state instead of raising: the algorithm
+       is skipped, the root serves the last trustworthy answer
+       (``RoundReport.degraded`` + reason, ``trustworthy=False``), and a
+       re-initialization is scheduled so exact tracking resumes on its own
+       as soon as any sensor becomes reachable again.  The loop stops only
+       when every sensor is *permanently* dead.
+
+    The coarse driver state is exposed as :attr:`state` — ``"init"``
+    before the first successful initialization, then ``"tracking"`` or
+    ``"degraded"`` per round.
 
     ``rotate_every`` adds fault-aware tree rotation on top: every that many
     rounds a fresh randomized min-hop tree is sampled over the *full* graph
@@ -222,6 +252,7 @@ class FaultDriver:
         repair_metric: str = "etx",
         rotate_every: int = 0,
         rotate_rng: np.random.Generator | None = None,
+        heal_patience: int = 1,
     ) -> None:
         if rotate_every < 0:
             raise ConfigurationError(
@@ -251,7 +282,11 @@ class FaultDriver:
         self.repair: TreeRepair | None = None
         if repair and graph is not None:
             self.repair = TreeRepair(
-                graph, self.net, self.watchdog, parent_metric=repair_metric
+                graph,
+                self.net,
+                self.watchdog,
+                parent_metric=repair_metric,
+                heal_patience=heal_patience,
             )
         self.algorithm = factory(spec)
         self.last_answer: int | None = None
@@ -260,12 +295,16 @@ class FaultDriver:
         self.failures = 0
         self.exact = 0
         self.rounds_run = 0
+        self.degraded_rounds = 0
+        self.reinit_energy_j = 0.0
         self.rank_errors: list[int] = []
         self.value_errors: list[int] = []
         self.coverages: list[float] = []
+        self.state = "init"
         self._initialized = False
         self._scheduled_reinit = False
         self._tainted = False
+        self._last_trustworthy_answer: int | None = None
 
     # -- membership views -----------------------------------------------------
 
@@ -318,14 +357,25 @@ class FaultDriver:
     # -- the round loop -------------------------------------------------------
 
     def step(self, round_index: int) -> RoundReport | None:
-        """Run one round; ``None`` means every sensor died (stop the loop)."""
+        """Run one round; ``None`` means every sensor is permanently dead.
+
+        A round with *no participating sensor* (all down, or all detached
+        behind unhealed partitions) is served in DEGRADED state: the
+        algorithm is skipped, the root answers with the last trustworthy
+        value, and a re-initialization is scheduled for the first round
+        with anyone to plant the query on.
+        """
         net = self.net
         net.begin_faults_round(round_index)
-        live = net.live_sensor_nodes()
-        if not live:
+        plan = net.plan
+        if all(plan.is_dead(v) for v in net.tree.sensor_nodes):
+            # Permanent churn killed everyone; nothing can ever come back,
+            # so there is no degraded service to provide — stop the loop.
             return None
+        live = net.live_sensor_nodes()
         if (
-            self.rotate_every
+            live
+            and self.rotate_every
             and round_index
             and round_index % self.rotate_every == 0
         ):
@@ -334,33 +384,48 @@ class FaultDriver:
         self.ledger.begin_round()
         log_start = len(net.collection_log)
         failed = reinitialized = False
+        degraded_reason: str | None = None
         repair_record: RepairRound | None = None
         try:
             if self.repair is not None:
                 repair_record = self.repair.repair_round(self.algorithm, values)
                 if repair_record.fallback:
-                    # An orphan found no parent in range: the subtree is cut
-                    # off and only a watchdog-style re-init resynchronizes.
+                    # An orphan's heal_patience expired with no parent in
+                    # range: only a watchdog-style re-init resynchronizes.
                     self._scheduled_reinit = True
                 elif self._scheduled_reinit and repair_record.reattached:
                     # The repair restored the very subtree the watchdog was
                     # complaining about — don't also re-initialize on top.
                     self._scheduled_reinit = False
                     self.cancelled_reinits += 1
-            if not self._initialized or self._scheduled_reinit:
+            if not self.participating(live):
+                # DEGRADED: churn detached the last participating sensor
+                # (or everyone is down).  Skip the algorithm — there is no
+                # answerable rank — and re-initialize once someone is back.
+                degraded_reason = (
+                    "all-sensors-down" if not live else "no-participants"
+                )
+                self._scheduled_reinit = True
+            elif not self._initialized or self._scheduled_reinit:
                 if round_index > 0:
                     self.algorithm = self.factory(self.spec)
                     self.reinits += 1
                     reinitialized = True
                 if self.repair is not None:
                     self.repair.resync_after_reinit(self.algorithm)
+                energy_before = float(self.ledger.energy.sum())
                 outcome = self.algorithm.initialize(net, values)
+                if reinitialized:
+                    self.reinit_energy_j += (
+                        float(self.ledger.energy.sum()) - energy_before
+                    )
                 self._initialized = True
                 self._scheduled_reinit = False
                 self._tainted = False
+                self.last_answer = outcome.quantile
             else:
                 outcome = self.algorithm.update(net, values)
-            self.last_answer = outcome.quantile
+                self.last_answer = outcome.quantile
         except ProtocolError:
             # Loss/churn drove the protocol state into an impossible
             # configuration.  Re-synchronize from scratch *in this round*:
@@ -368,22 +433,42 @@ class FaultDriver:
             # charged to the open ledger round like everything else.
             failed = True
             self.failures += 1
-            self.algorithm = self.factory(self.spec)
-            if self.repair is not None:
-                self.repair.resync_after_reinit(self.algorithm)
-            try:
-                outcome = self.algorithm.initialize(net, values)
-                self.reinits += 1
-                reinitialized = True
-                self._initialized = True
-                self._scheduled_reinit = False
-                self._tainted = False
-                self.last_answer = outcome.quantile
-            except ProtocolError:
-                self._scheduled_reinit = True  # even the re-init drowned
+            if not self.participating(live):
+                # Even recovery has nobody to replant the query on.  Keep
+                # the (broken) algorithm for membership patching, degrade,
+                # and re-initialize when a sensor becomes reachable.
+                degraded_reason = (
+                    "all-sensors-down" if not live else "no-participants"
+                )
+                self._initialized = False
+                self._scheduled_reinit = True
+            else:
+                self.algorithm = self.factory(self.spec)
+                if self.repair is not None:
+                    self.repair.resync_after_reinit(self.algorithm)
+                try:
+                    energy_before = float(self.ledger.energy.sum())
+                    outcome = self.algorithm.initialize(net, values)
+                    self.reinits += 1
+                    reinitialized = True
+                    self.reinit_energy_j += (
+                        float(self.ledger.energy.sum()) - energy_before
+                    )
+                    self._initialized = True
+                    self._scheduled_reinit = False
+                    self._tainted = False
+                    self.last_answer = outcome.quantile
+                except ProtocolError:
+                    self._scheduled_reinit = True  # even the re-init drowned
         self.ledger.end_round()
         self.rounds_run += 1
 
+        degraded = degraded_reason is not None
+        if degraded:
+            self.degraded_rounds += 1
+            if self._last_trustworthy_answer is not None:
+                # Serve the last answer the root could still prove right.
+                self.last_answer = self._last_trustworthy_answer
         participating = self.participating(live)
         round_records = net.collection_log[log_start:]
         if any(r.coverage < 1.0 for r in round_records if r.expected > 0):
@@ -392,33 +477,45 @@ class FaultDriver:
             self._tainted = True
 
         # Root-side watchdog: full collections tell the root who is gone.
+        # Degraded rounds run no collections, so there is nothing to watch.
         reinit_wanted = False
-        full_records = [
-            record
-            for record in round_records
-            if self.watchdog.is_full_collection(record, len(participating))
-        ]
-        self.coverages.extend(record.coverage for record in full_records)
-        if full_records:
-            if reinitialized:
-                self.watchdog.adopt(full_records[-1])
-            else:
-                for record in full_records:
-                    reinit_wanted |= self.watchdog.observe(record)
+        if not degraded:
+            full_records = [
+                record
+                for record in round_records
+                if self.watchdog.is_full_collection(record, len(participating))
+            ]
+            self.coverages.extend(record.coverage for record in full_records)
+            if full_records:
+                if reinitialized:
+                    self.watchdog.adopt(full_records[-1])
+                else:
+                    for record in full_records:
+                        reinit_wanted |= self.watchdog.observe(record)
         if reinit_wanted:
             self._scheduled_reinit = True  # re-initialization, next round
 
-        # Accuracy against the live population's quantile.
-        live_values = values[list(live)]
-        k_live = quantile_rank(len(live), self.spec.phi)
-        truth = exact_quantile(live_values, k_live)
-        answer = self.last_answer if self.last_answer is not None else truth
-        self.exact += int(answer == truth)
-        self.value_errors.append(abs(answer - truth))
-        self.rank_errors.append(
-            insertion_rank_error(live_values, answer, k_live)
-        )
+        # Accuracy against the live population's quantile (undefined while
+        # nobody is up — those rounds simply have no truth to score).
+        if live:
+            live_values = values[list(live)]
+            k_live = quantile_rank(len(live), self.spec.phi)
+            truth = exact_quantile(live_values, k_live)
+            answer = self.last_answer if self.last_answer is not None else truth
+            self.exact += int(answer == truth)
+            self.value_errors.append(abs(answer - truth))
+            self.rank_errors.append(
+                insertion_rank_error(live_values, answer, k_live)
+            )
 
+        trustworthy = not degraded and self._trustworthy(failed, live)
+        if trustworthy and self.last_answer is not None:
+            self._last_trustworthy_answer = self.last_answer
+        self.state = (
+            "degraded"
+            if degraded
+            else ("tracking" if self._initialized else "init")
+        )
         return RoundReport(
             round_index=round_index,
             answer=self.last_answer,
@@ -427,11 +524,17 @@ class FaultDriver:
             reinitialized=reinitialized,
             failed=failed,
             repair=repair_record,
-            trustworthy=self._trustworthy(failed, live),
+            trustworthy=trustworthy,
+            degraded=degraded,
+            degraded_reason=degraded_reason,
         )
 
     def run(self, num_rounds: int) -> list[RoundReport]:
-        """Run the full loop; stops early if every sensor dies."""
+        """Run the full loop; stops early only if every sensor is dead.
+
+        Transiently-down populations do *not* stop the loop anymore — those
+        rounds are served degraded and tracking resumes on recovery.
+        """
         reports: list[RoundReport] = []
         for round_index in range(num_rounds):
             report = self.step(round_index)
@@ -503,6 +606,14 @@ class FaultDriver:
             ),
             transient_rate=transient_rate,
             rotations=self.rotations,
+            degraded_rounds=self.degraded_rounds,
+            healed_partitions=(
+                repair_stats.healed_count if repair_stats is not None else 0
+            ),
+            parked_orphan_rounds=(
+                repair_stats.parked_rounds if repair_stats is not None else 0
+            ),
+            reinit_energy_mj=self.reinit_energy_j * 1e3,
         )
 
 
@@ -523,6 +634,7 @@ def run_fault_experiment(
     adaptive_arq: bool = False,
     repair_metric: str = "etx",
     rotate_every: int = 0,
+    heal_patience: int = 1,
 ) -> FaultExperimentResult:
     """Sweep every algorithm over loss rates x retry budgets.
 
@@ -538,7 +650,10 @@ def run_fault_experiment(
     leaving the PR 2 watchdog-only baseline.  ``repair_metric`` picks how
     orphans rank candidate parents (``"etx"`` or ``"nearest"``);
     ``rotate_every`` turns on fault-aware tree rotation every that many
-    rounds (0 = never), seeded per cell like the fault plan.
+    rounds (0 = never), seeded per cell like the fault plan;
+    ``heal_patience`` is how many consecutive rounds an unattachable orphan
+    stays parked (re-probing, duty-cycled) before the re-init fallback
+    fires (1 = the pre-healing same-round fallback).
     """
     points: list[FaultSeriesPoint] = []
     retry_axis: tuple[int | str, ...] = ("adp",) if adaptive_arq else retry_budgets
@@ -590,6 +705,7 @@ def run_fault_experiment(
                     rotate_rng=np.random.default_rng(
                         (seed, loss_key, retry_key, 11)
                     ),
+                    heal_patience=heal_patience,
                 )
                 driver.run(num_rounds)
                 points.append(

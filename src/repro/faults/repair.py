@@ -16,9 +16,20 @@ This module adds the reactions a real deployment uses first:
   are applied with one batched tree rewrite
   (:func:`~repro.network.tree.tree_multi_reparented`), the engine swaps it
   in (:meth:`~repro.sim.engine.TreeNetwork.retarget`), and the adopting
-  parents report the membership change up to the root.  Only when *no*
-  candidate is in radio range does the subtree stay cut off and the driver
-  falls back to the watchdog's re-initialization.
+  parents report the membership change up to the root.
+
+* **Multi-round partition healing (the parked-orphan queue)** — an orphan
+  with *no* eligible candidate is not re-initialized on the spot anymore.
+  It is *parked*: its subtree leaves the query (detached below), its radios
+  drop to a duty-cycled listen window (one ACK-sized receive per up subtree
+  vertex per parked round, charged to the ledger), and it re-probes on
+  every subsequent round with freshly ETX-ranked candidates as links and
+  neighbours recover.  Only after ``heal_patience`` consecutive failed
+  rounds does the driver fall back to the watchdog-style re-initialization
+  (``heal_patience=1`` reproduces the old same-round re-init cliff).  A
+  parked orphan that finds a parent in a later round — or whose original
+  parent comes back — is a *healed partition*: its sensors rejoin the
+  running query with their filters intact, no re-initialization needed.
 
 * **Membership patching (detach / rejoin)** — the root tracks which sensors
   can currently report (up + connected).  Nodes that leave (death, outage,
@@ -67,13 +78,19 @@ class RepairRound:
 
     #: ``(orphan, new_parent)`` re-attachments performed, in order.
     reattached: tuple[tuple[int, int], ...] = ()
-    #: Orphans that found no eligible neighbour *for the first time* (the
-    #: driver schedules the watchdog-style re-initialization fallback).
+    #: Orphans whose ``heal_patience`` expired this round (the driver
+    #: schedules the watchdog-style re-initialization fallback).
     fallback: tuple[int, ...] = ()
     #: Vertices detached from the query this round.
     detached: tuple[int, ...] = ()
     #: Vertices rejoined to the query this round.
     rejoined: tuple[int, ...] = ()
+    #: Orphans parked at the end of this round (cut off, duty-cycled,
+    #: awaiting a candidate parent on a later round's re-probe).
+    parked: tuple[int, ...] = ()
+    #: Previously parked orphans whose partition healed this round (a
+    #: re-probe found a parent, or the old parent recovered).
+    healed: tuple[int, ...] = ()
 
     @property
     def changed_membership(self) -> bool:
@@ -90,6 +107,10 @@ class RepairStats:
     rejoin_count: int = 0
     #: Probe beacons broadcast by orphans looking for a parent.
     probe_count: int = 0
+    #: Orphan-rounds spent parked (cut off, duty-cycled, re-probing).
+    parked_rounds: int = 0
+    #: Parked orphans whose partition healed on a later round.
+    healed_count: int = 0
     #: Total energy [J] spent on repair traffic (probes, adopts, reports).
     repair_energy_j: float = 0.0
     #: On-air bits of repair traffic.
@@ -112,6 +133,11 @@ class TreeRepair:
             breaks ties and takes over entirely while no relevant link has
             ever been observed), or ``"nearest"`` for the pure
             nearest-neighbour adoption of PR 3.
+        heal_patience: consecutive rounds an unattachable orphan stays
+            *parked* (duty-cycled, re-probing) before the re-initialization
+            fallback fires.  The default 1 reproduces the pre-healing
+            same-round fallback; higher values trade degraded coverage for
+            the chance that the partition heals on its own.
     """
 
     #: Valid ``parent_metric`` values.
@@ -123,6 +149,7 @@ class TreeRepair:
         net: FaultyTreeNetwork,
         watchdog: RootWatchdog | None = None,
         parent_metric: str = "etx",
+        heal_patience: int = 1,
     ) -> None:
         if graph.num_vertices != net.tree.num_vertices:
             raise ConfigurationError(
@@ -134,18 +161,28 @@ class TreeRepair:
                 f"parent_metric must be one of {self.PARENT_METRICS}, "
                 f"got {parent_metric!r}"
             )
+        if heal_patience < 1:
+            raise ConfigurationError(
+                f"heal_patience must be >= 1, got {heal_patience}"
+            )
         self.graph = graph
         self.net = net
         self.watchdog = watchdog
         self.parent_metric = parent_metric
+        self.heal_patience = heal_patience
         self.plan = net.plan
         self.stats = RepairStats()
         #: Sensors the root currently considers outside the query.
         self.detached: set[int] = set()
-        #: Orphans that already failed to find a parent (probe again each
-        #: round, but the re-init fallback fires only on the first failure).
-        self._unattachable: set[int] = set()
-        self._newly_unattachable: set[int] = set()
+        #: The parked-orphan queue: orphan -> consecutive rounds it has
+        #: failed to find a parent.  Parked orphans re-probe every round;
+        #: the re-init fallback fires once, when the streak reaches
+        #: ``heal_patience``.  An entry disappears when the partition heals
+        #: (re-attach, or the old parent recovers).
+        self._parked: dict[int, int] = {}
+        self._expired: list[int] = []
+        self._waiting: list[int] = []
+        self._healed: list[int] = []
 
     # -- root-reachability ----------------------------------------------------
 
@@ -180,13 +217,15 @@ class TreeRepair:
         """
         energy_before = float(self.net.ledger.energy.sum())
         reattached = self._reattach_orphans()
-        fallback = self._first_time_fallbacks()
+        fallback = self._expired_fallbacks()
         detached, rejoined = self._sync_membership(algorithm, values)
         round_record = RepairRound(
             reattached=tuple(reattached),
             fallback=tuple(fallback),
             detached=tuple(detached),
             rejoined=tuple(rejoined),
+            parked=tuple(self._waiting),
+            healed=tuple(self._healed),
         )
         if round_record.changed_membership and self.watchdog is not None:
             self.watchdog.retarget(self.net.tree, self.reachable_sensors())
@@ -194,6 +233,8 @@ class TreeRepair:
         self.stats.fallback_count += len(fallback)
         self.stats.detach_count += len(detached)
         self.stats.rejoin_count += len(rejoined)
+        self.stats.parked_rounds += len(round_record.parked)
+        self.stats.healed_count += len(round_record.healed)
         self.stats.repair_energy_j += (
             float(self.net.ledger.energy.sum()) - energy_before
         )
@@ -306,23 +347,52 @@ class TreeRepair:
             parent[orphan] = candidate
             link[orphan] = distance
             moves.append((orphan, candidate, distance))
-            self._unattachable.discard(orphan)
         if moves:
             self.net.retarget(tree_multi_reparented(tree, moves))
             # The adopting parents report the membership change up the
             # repaired tree so the root can patch its branch bookkeeping.
             for _, new_parent, _ in moves:
                 self._report_to_root(new_parent)
-        # Orphans whose parent recovered (or got re-attached) are no longer
-        # orphans; forget them so a later relapse counts as a fresh failure.
-        self._unattachable &= failed
-        self._newly_unattachable = failed - self._unattachable
+        self._settle_park_queue(parent, failed)
         return [(orphan, new_parent) for orphan, new_parent, _ in moves]
 
-    def _first_time_fallbacks(self) -> list[int]:
-        fresh = sorted(self._newly_unattachable)
-        self._unattachable |= self._newly_unattachable
-        self._newly_unattachable = set()
+    def _settle_park_queue(self, parent: list[int], failed: set[int]) -> None:
+        """Advance the parked-orphan queue after one re-attach pass.
+
+        A previously waiting orphan (streak below ``heal_patience``) that is
+        no longer cut — its re-probe found a parent, or the old parent
+        recovered — is a healed partition.  Still-failed orphans advance
+        their streak: the re-init fallback fires exactly when the streak
+        reaches ``heal_patience``; below that the orphan waits parked, its
+        subtree's up vertices each paying one duty-cycled ACK-sized listen
+        window per round.  Past the fallback the orphan keeps re-probing
+        (pre-healing behaviour) but is neither re-charged nor re-counted.
+        Reconnected orphans leave the queue entirely, so a later relapse
+        counts as a fresh failure.
+        """
+        previously_waiting = {
+            v for v, streak in self._parked.items() if streak < self.heal_patience
+        }
+        self._healed = sorted(v for v in previously_waiting if v not in failed)
+        for vertex in set(self._parked) - failed:
+            del self._parked[vertex]
+        self._expired, self._waiting = [], []
+        for vertex in sorted(failed):
+            streak = self._parked.get(vertex, 0) + 1
+            self._parked[vertex] = streak
+            if streak == self.heal_patience:
+                self._expired.append(vertex)
+            elif streak < self.heal_patience:
+                self._waiting.append(vertex)
+        ack = ack_cost()
+        for vertex in self._waiting:
+            for member in self._subtree_in(parent, vertex):
+                if not self.plan.is_down(member):
+                    self._charge_recv(member, ack)
+
+    def _expired_fallbacks(self) -> list[int]:
+        fresh = self._expired
+        self._expired = []
         return fresh
 
     def _probe_for_parent(self, orphan: int, parent: list[int]) -> int | None:

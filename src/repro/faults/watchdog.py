@@ -88,8 +88,15 @@ class RootWatchdog:
         return live > 0 and record.expected >= self.full_fraction * live
 
     def observe(self, record: CollectionRecord) -> bool:
-        """Feed one full-collection record; True recommends re-initializing."""
-        if record.expected == 0:
+        """Feed one full-collection record; True recommends re-initializing.
+
+        Parked subtrees never show up here: the repair layer detaches them
+        and retargets the watchdog onto the reachable members only, so a
+        partition waiting out its ``heal_patience`` is not also re-initd
+        from this side.  With no awaited branch at all (total churn) the
+        watchdog stays quiet — the driver's degraded state owns that case.
+        """
+        if record.expected == 0 or not self._baseline_branches:
             return False
         coverage = record.coverage
         delivered_branches = {self._branch[v] for v in record.delivered}

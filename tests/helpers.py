@@ -93,6 +93,7 @@ def assert_differential_invariant(
     rotate_every: int = 0,
     rotate_seed: int = 0,
     repair_metric: str = "etx",
+    heal_patience: int = 1,
 ) -> dict[str, list[RoundReport]]:
     """Differential invariant: exact algorithms == oracle on trustworthy rounds.
 
@@ -108,7 +109,9 @@ def assert_differential_invariant(
 
     ``rotate_every`` adds fault-aware tree rotation to the schedule (seeded
     by ``rotate_seed`` so every algorithm sees identical rotations);
-    ``repair_metric`` selects the orphan-adoption ranking under test.
+    ``repair_metric`` selects the orphan-adoption ranking under test;
+    ``heal_patience`` lets parked orphans wait that many rounds for a heal
+    before the re-init fallback (the near-total-churn axis exercises it).
     """
     workload = SequenceWorkload(rounds)
     reports_by_name: dict[str, list[RoundReport]] = {}
@@ -128,6 +131,7 @@ def assert_differential_invariant(
             repair_metric=repair_metric,
             rotate_every=rotate_every,
             rotate_rng=np.random.default_rng(rotate_seed),
+            heal_patience=heal_patience,
         )
         reports = driver.run(len(rounds))
         trustworthy = 0

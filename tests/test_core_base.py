@@ -17,7 +17,7 @@ from repro.core.base import (
     tag_initialization,
 )
 from repro.core.payloads import ValidationPayload
-from repro.errors import ProtocolError
+from repro.errors import MembershipError, ProtocolError
 from repro.sim.oracle import rank_of_value
 from repro.types import QuerySpec
 
@@ -189,3 +189,58 @@ def _fresh_net(tree):
     from tests.conftest import make_network
 
     return make_network(tree)
+
+
+class TestMembershipContract:
+    """detach/rejoin misuse raises one symmetric, debuggable error family.
+
+    Both directions of the contract violation — detaching twice, rejoining
+    a vertex that never left — raise :class:`MembershipError` (a
+    :class:`ProtocolError`), and both messages carry the vertex id and the
+    current participating population, so a churn schedule can be debugged
+    from the traceback alone.
+    """
+
+    VALUES = np.array([0, 10, 20, 30, 40, 50, 60, 70])
+
+    def _initialized_pos(self, small_net):
+        from repro.experiments.config import default_algorithms
+
+        algorithm = default_algorithms()["POS"](QuerySpec(r_min=0, r_max=127))
+        algorithm.initialize(small_net, self.VALUES)
+        return algorithm
+
+    def test_double_detach_raises_membership_error(self, small_net):
+        algorithm = self._initialized_pos(small_net)
+        algorithm.detach(small_net, 3)
+        with pytest.raises(MembershipError) as excinfo:
+            algorithm.detach(small_net, 3)
+        message = str(excinfo.value)
+        assert "vertex 3" in message
+        assert "population 6 of 7" in message
+
+    def test_rejoin_never_detached_raises_membership_error(self, small_net):
+        algorithm = self._initialized_pos(small_net)
+        with pytest.raises(MembershipError) as excinfo:
+            algorithm.rejoin(small_net, self.VALUES, 4)
+        message = str(excinfo.value)
+        assert "vertex 4" in message
+        assert "population 7 of 7" in message
+
+    def test_membership_error_is_a_protocol_error(self):
+        # Callers that caught ProtocolError before the split keep working.
+        assert issubclass(MembershipError, ProtocolError)
+
+    def test_population_may_legally_reach_zero(self, small_net):
+        """The last-participant guard is gone: total churn detaches all."""
+        algorithm = self._initialized_pos(small_net)
+        for vertex in small_net.tree.sensor_nodes:
+            algorithm.detach(small_net, vertex)
+        assert algorithm.population(small_net) == 0
+
+    def test_reset_participation_rejects_empty_population(self, small_net):
+        algorithm = self._initialized_pos(small_net)
+        everyone = set(small_net.tree.sensor_nodes)
+        with pytest.raises(MembershipError) as excinfo:
+            algorithm.reset_participation(small_net, everyone)
+        assert "7 of 7 sensors detached" in str(excinfo.value)

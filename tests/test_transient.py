@@ -228,3 +228,48 @@ def test_random_outage_schedules_stay_oracle_exact(schedule):
         plan_factory=lambda: FaultPlan(outages=ScheduledOutages(by_round)),
         min_trustworthy=1,
     )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    start=st.integers(min_value=1, max_value=4),
+    durations=st.lists(
+        st.integers(min_value=1, max_value=3), min_size=11, max_size=11
+    ),
+    heal_patience=st.integers(min_value=1, max_value=3),
+)
+def test_near_total_churn_stays_oracle_exact(start, durations, heal_patience):
+    """Property: schedules that take down *every* sensor at once degrade.
+
+    The outage window covers the whole population (the old driver raised
+    ``ProtocolError: cannot detach the last participating sensor`` here).
+    The run must complete, the blackout rounds must be flagged degraded and
+    untrustworthy, and once sensors recover, trustworthy rounds must again
+    equal the oracle — for any downtimes and any heal patience.
+    """
+    by_round = {
+        start: [(v, durations[v - 1]) for v in range(1, 12)]
+    }
+    reports = assert_differential_invariant(
+        {"POS": default_algorithms()["POS"], "IQ": default_algorithms()["IQ"]},
+        FUZZ_GRAPH,
+        FUZZ_TREE,
+        FUZZ_ROUNDS,
+        SPEC,
+        plan_factory=lambda: FaultPlan(outages=ScheduledOutages(by_round)),
+        min_trustworthy=1,
+        heal_patience=heal_patience,
+    )
+    for name, rounds in reports.items():
+        assert len(rounds) == len(FUZZ_ROUNDS), f"{name} stopped early"
+        blackout = [r for r in rounds if not r.live]
+        assert blackout, f"{name}: the total outage never materialized"
+        assert all(
+            r.degraded and not r.trustworthy
+            and r.degraded_reason == "all-sensors-down"
+            for r in blackout
+        )
