@@ -11,7 +11,9 @@ minutes).
 
 from __future__ import annotations
 
+import json
 import os
+import resource
 from pathlib import Path
 
 from repro.errors import ConfigurationError
@@ -85,6 +87,32 @@ def archive(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name.lower().replace(' ', '_')}.txt"
     path.write_text(text)
+    return path
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in kilobytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize to
+    kilobytes so the emitted perf records compare across machines.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if os.uname().sysname == "Darwin":  # pragma: no cover - platform dependent
+        peak //= 1024
+    return int(peak)
+
+
+def emit_perf(name: str, payload: dict) -> Path:
+    """Archive a machine-readable perf record as ``BENCH_<name>.json``.
+
+    The payload is augmented with the process's peak RSS and written under
+    ``benchmarks/results/`` so CI uploads it with the text tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = dict(payload)
+    record.setdefault("peak_rss_kb", peak_rss_kb())
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 
 

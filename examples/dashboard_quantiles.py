@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Multi-query serving: one convergecast feeding a whole dashboard.
+
+Registers a p50/p95/p99 grid plus one range predicate ("what fraction of
+sensors read 200-599?") with the serving layer's query registry, runs
+them all over a single shared gated collection, and prints what each
+subscription costs — compared against the k-independent-runs alternative
+of giving every query its own tracker.  Unlike ``quantile_dashboard.py``
+(one exact IQ instance per φ), the serving layer amortizes: adding a
+query to the registry is nearly free.
+"""
+
+import numpy as np
+
+from repro import (
+    QuerySpec,
+    SyntheticWorkload,
+    build_routing_tree,
+    connected_random_graph,
+)
+from repro.core.sketchq import SketchQuantile
+from repro.experiments.report import format_query_table
+from repro.faults import FaultDriver, FaultPlan
+from repro.serving import MultiQueryRunner, PhiQuery, QueryRegistry, RangeQuery
+
+NODES = 200
+ROUNDS = 40
+EPS = 0.05
+
+
+def mj_per_round(ledger, rounds: int) -> float:
+    return float(np.sum(ledger.round_energy_history, axis=0).sum()) / rounds * 1e3
+
+
+def main() -> None:
+    rng = np.random.default_rng(33)
+    graph = connected_random_graph(NODES + 1, radio_range=35.0, rng=rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(
+        graph.positions, rng, period=40, noise_percent=10.0
+    )
+    spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+
+    registry = QueryRegistry()
+    registry.register(PhiQuery("p50", phis=(0.5,), eps=EPS))
+    registry.register(PhiQuery("p95", phis=(0.95,), eps=EPS))
+    registry.register(PhiQuery("p99", phis=(0.99,), eps=EPS))
+    registry.register(RangeQuery("frac[200,599]", low=200, high=599, eps=EPS))
+
+    runner = MultiQueryRunner(registry, spec, tree, workload, graph=graph)
+    runner.run(ROUNDS)
+    total = mj_per_round(runner.driver.ledger, ROUNDS)
+
+    print(
+        format_query_table(
+            runner.stats(),
+            title=(
+                f"serving {len(registry)} queries over one convergecast "
+                f"({NODES} nodes, {ROUNDS} rounds, eps={EPS})"
+            ),
+        )
+    )
+
+    # The alternative: one dedicated gated tracker per query.
+    baseline_driver = FaultDriver(
+        lambda s: SketchQuantile(s, eps=EPS),
+        spec,
+        tree,
+        workload,
+        FaultPlan(),
+        graph=graph,
+    )
+    baseline_driver.run(ROUNDS)
+    single = mj_per_round(baseline_driver.ledger, ROUNDS)
+
+    k = len(registry)
+    print("\ncost vs k independent trackers")
+    print(f"{'setup':>26s} {'mJ/round':>9s} {'per query':>10s} {'vs shared':>10s}")
+    shared_per_query = total / k
+    rows = [
+        ("shared convergecast", total, shared_per_query, 1.0),
+        ("one dedicated tracker", single, single, single / shared_per_query),
+        (f"{k} independent trackers", single * k, single, single / shared_per_query),
+    ]
+    for label, whole, per_query, factor in rows:
+        print(
+            f"{label:>26s} {whole:9.3f} {per_query:10.3f} {factor:9.1f}x"
+        )
+    print(
+        f"\nserving all {k} queries costs {total / single:.2f}x one tracker "
+        f"— the {k}-independent-runs alternative would cost "
+        f"{single * k / total:.1f}x more radio energy."
+    )
+
+
+if __name__ == "__main__":
+    main()

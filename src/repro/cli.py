@@ -12,6 +12,9 @@ Subcommands:
   churn, per-hop ARQ and the root watchdog (``repro.faults``).
 * ``sketch``  — approximate quantiles: the energy-vs-rank-error sweep over
   the sketch family's error budget ε (``repro.sketch``).
+* ``queries`` — multi-query serving: register a φ-grid, group-by regions
+  and range predicates, serve them all from one shared gated convergecast
+  and compare the energy with a single-query tracker (``repro.serving``).
 * ``report``  — regenerate the whole evaluation as one markdown document.
 
 Examples::
@@ -24,6 +27,7 @@ Examples::
     python -m repro faults --loss 0.05 --retries 2
     python -m repro faults --loss 0.05 0.1 --retries 0 2 --burst 8 --churn 0.01
     python -m repro sketch --eps 0.02 0.05 0.1
+    python -m repro queries --phis 0.5 0.95 0.99 --regions 2 --range 200 399
 """
 
 from __future__ import annotations
@@ -181,6 +185,54 @@ def build_parser() -> argparse.ArgumentParser:
     sketch.add_argument("--phi", type=float, default=0.5)
     sketch.add_argument("--seed", type=int, default=20140324)
 
+    queries = sub.add_parser(
+        "queries",
+        help="multi-query serving: a phi-grid, group-by regions and range "
+        "predicates over one shared convergecast (repro.serving)",
+    )
+    queries.add_argument(
+        "--phis", type=float, nargs="+", default=[0.5, 0.95, 0.99],
+        help="the phi-grid to serve (one PhiQuery per phi)",
+    )
+    queries.add_argument(
+        "--regions", type=int, default=0, metavar="N",
+        help="add a group-by query over N vertical position stripes "
+        "(0 = no group-by)",
+    )
+    queries.add_argument(
+        "--range", type=float, nargs=2, action="append", default=None,
+        dest="ranges", metavar=("LO", "HI"),
+        help="add a range query for the fraction of readings in [LO, HI] "
+        "(repeatable)",
+    )
+    queries.add_argument(
+        "--eps", type=float, default=0.05,
+        help="per-query rank-error budget (fraction of the population)",
+    )
+    queries.add_argument(
+        "--loss", type=float, default=0.0,
+        help="i.i.d. link loss rate for the fault layer",
+    )
+    queries.add_argument(
+        "--retries", type=int, default=2,
+        help="per-hop ARQ retry budget (0 disables ARQ)",
+    )
+    queries.add_argument(
+        "--transient", type=float, default=0.0,
+        help="per-round probability of each sensor starting a transient "
+        "outage",
+    )
+    queries.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the single-query SKQ amortization comparison run",
+    )
+    queries.add_argument("--nodes", type=int, default=120)
+    queries.add_argument("--rounds", type=int, default=30)
+    queries.add_argument("--range-radio", type=float, default=35.0,
+                         dest="radio_range", metavar="M",
+                         help="radio range in metres")
+    queries.add_argument("--seed", type=int, default=20140324)
+
     report = sub.add_parser(
         "report", help="regenerate the paper's full evaluation as markdown"
     )
@@ -297,6 +349,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
 
+    if command == "queries":
+        return _run_queries(args)
+
     if command == "report":
         from repro.experiments.paper import generate_report
 
@@ -382,6 +437,114 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
+
+
+def _run_queries(args) -> int:
+    """The ``queries`` subcommand: serve a small dashboard and report it."""
+    import numpy as np
+
+    from repro.core.sketchq import SketchQuantile
+    from repro.datasets.synthetic import SyntheticWorkload
+    from repro.experiments.report import format_query_table
+    from repro.faults import ArqPolicy, FaultDriver, FaultPlan
+    from repro.faults.plan import IndependentLoss, RandomOutages
+    from repro.network.routing import build_routing_tree
+    from repro.network.topology import connected_random_graph
+    from repro.serving import (
+        GroupByQuery,
+        MultiQueryRunner,
+        PhiQuery,
+        QueryRegistry,
+        RangeQuery,
+        phi_label,
+    )
+    from repro.types import QuerySpec
+
+    rng = np.random.default_rng(args.seed)
+    graph = connected_random_graph(args.nodes + 1, args.radio_range, rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(graph.positions, rng)
+    spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+
+    registry = QueryRegistry()
+    for phi in args.phis:
+        registry.register(
+            PhiQuery(phi_label(phi), phis=(phi,), eps=args.eps)
+        )
+    if args.regions > 0:
+        span = float(graph.positions[:, 0].max()) + 1e-9
+        width = span / args.regions
+
+        def stripe(vertex, position, _w=width):
+            if position is None:
+                return "r0"
+            return f"r{int(position[0] // _w)}"
+
+        registry.register(
+            GroupByQuery("regions", assign=stripe, eps=args.eps)
+        )
+    for low, high in args.ranges or ():
+        registry.register(
+            RangeQuery(
+                f"frac[{low:g},{high:g}]",
+                low=int(low),
+                high=int(high),
+                eps=args.eps,
+            )
+        )
+
+    def make_plan():
+        return FaultPlan(
+            loss=IndependentLoss(args.loss) if args.loss > 0 else None,
+            outages=(
+                RandomOutages(args.transient) if args.transient > 0 else None
+            ),
+            seed=args.seed,
+        )
+
+    arq = ArqPolicy(max_retries=args.retries) if args.retries > 0 else None
+    runner = MultiQueryRunner(
+        registry, spec, tree, workload, make_plan(), arq,
+        graph=graph, radio_range=args.radio_range,
+    )
+    runner.run(args.rounds)
+
+    def mj_per_round(ledger):
+        return (
+            float(np.sum(ledger.round_energy_history, axis=0).sum())
+            / args.rounds * 1e3
+        )
+
+    total = mj_per_round(runner.driver.ledger)
+    print(
+        format_query_table(
+            runner.stats(),
+            title=(
+                f"multi-query serving: {len(registry)} queries, "
+                f"{args.nodes} nodes, {args.rounds} rounds, "
+                f"eps={args.eps:g}, loss={args.loss:g}, "
+                f"transient={args.transient:g}"
+            ),
+        )
+    )
+    print(f"\ntotal radio energy: {total:.3f} mJ/round "
+          f"({total / max(1, len(registry)):.3f} mJ/round per query)")
+
+    if not args.no_baseline:
+        baseline_driver = FaultDriver(
+            lambda s: SketchQuantile(s, eps=args.eps),
+            spec, tree, workload, make_plan(), arq,
+            graph=graph, radio_range=args.radio_range,
+        )
+        baseline_driver.run(args.rounds)
+        baseline = mj_per_round(baseline_driver.ledger)
+        k = len(registry)
+        print(
+            f"single-query SKQ baseline: {baseline:.3f} mJ/round — "
+            f"{k} queries served at {total / baseline:.2f}x one tracker "
+            f"(independent runs would cost ~{k}x)"
+        )
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

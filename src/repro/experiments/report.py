@@ -114,3 +114,27 @@ def format_comparison(
             f"{m.mean_rank_error:9.2f} {str(m.all_exact):>6s}"
         )
     return "\n".join(lines)
+
+
+def format_query_table(stats, title: str | None = None) -> str:
+    """Render the multi-query serving summary, one row per registered query.
+
+    ``stats`` is any iterable of per-query aggregates shaped like
+    ``repro.serving.QueryStats`` (duck-typed so this module stays free of a
+    serving import) — the output of ``repro queries`` and
+    ``examples/dashboard_quantiles.py``.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'query':16s} {'kind':>9s} {'rounds':>7s} {'answered':>9s} "
+        f"{'trust':>6s} {'mean-err':>9s} {'max-err':>8s} {'mJ/rnd':>7s}"
+    )
+    for s in stats:
+        lines.append(
+            f"{s.query:16s} {s.kind:>9s} {s.rounds:7d} {s.answered_rounds:9d} "
+            f"{s.trustworthy_fraction:6.2f} {s.mean_oracle_error:9.3f} "
+            f"{s.max_oracle_error:8.3f} {s.mean_energy_mj:7.3f}"
+        )
+    return "\n".join(lines)

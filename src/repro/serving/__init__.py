@@ -1,0 +1,67 @@
+"""Multi-query serving: many continuous queries over one convergecast.
+
+The subsystem that turns the single-query tracker into a serving layer: a
+:class:`QueryRegistry` at the root accepts typed continuous queries
+(φ-grids, group-by regions, range predicates), compiles them into one
+shared collection plan (min-eps, per-cell tagged sub-digests), and
+:class:`MultiQuerySketch` tracks the whole target matrix behind one
+SKQ-style validation gate — so k registered queries cost about one gated
+convergecast instead of k independent runs.  :class:`MultiQueryRunner`
+composes the gate with the fault layer and fans out per-round
+:class:`QueryAnswer` records.
+"""
+
+from repro.serving.algorithm import GridValidationPayload, MultiQuerySketch
+from repro.serving.grid import (
+    phi_grid,
+    range_count_bounds,
+    range_fraction,
+    value_bounds,
+)
+from repro.serving.queries import (
+    DEFAULT_EPS,
+    AnswerItem,
+    GroupByQuery,
+    PhiQuery,
+    Query,
+    QueryAnswer,
+    RangeQuery,
+    RegionAssigner,
+    phi_label,
+)
+from repro.serving.registry import (
+    PlannedItem,
+    PlanTarget,
+    QueryPlan,
+    QueryRegistry,
+    ServingPlan,
+    oracle_grid,
+)
+from repro.serving.runner import MultiQueryRunner, QueryStats, ServingRound
+
+__all__ = [
+    "DEFAULT_EPS",
+    "AnswerItem",
+    "GridValidationPayload",
+    "GroupByQuery",
+    "MultiQueryRunner",
+    "MultiQuerySketch",
+    "PhiQuery",
+    "PlanTarget",
+    "PlannedItem",
+    "Query",
+    "QueryAnswer",
+    "QueryPlan",
+    "QueryRegistry",
+    "QueryStats",
+    "RangeQuery",
+    "RegionAssigner",
+    "ServingPlan",
+    "ServingRound",
+    "oracle_grid",
+    "phi_grid",
+    "phi_label",
+    "range_count_bounds",
+    "range_fraction",
+    "value_bounds",
+]

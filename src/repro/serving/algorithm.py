@@ -1,0 +1,624 @@
+"""MultiQuerySketch: one gated convergecast serving every registered query.
+
+This generalizes the single-filter validation gate of
+:class:`~repro.core.sketchq.SketchQuantile` to a *matrix* of boundaries:
+one gate target per (scope, φ) and (scope, range-endpoint) the registry
+plans (:class:`~repro.serving.registry.ServingPlan`).  The round loop:
+
+1. **Refresh** (initialization, drift exhaustion, or plan change): one
+   shared :class:`~repro.sketch.payload.TaggedSketchPayload` convergecast
+   at the plan's ``sketch_eps`` ships per-cell q-digests up the tree; the
+   root decodes *every* target from the merged digest of its cells and
+   re-anchors sound rank bounds per target.  One flood re-disseminates the
+   new boundary values.
+2. **Validation** (all other rounds): each sensor compares its measurement
+   against every boundary whose scope contains it and reports exact
+   transition counters for the boundaries it crossed
+   (:class:`GridValidationPayload`) — nothing when nothing crossed.  The
+   root shifts each target's bounds exactly and re-uses every cached
+   answer while all targets' worst-case errors stay inside their budgets.
+
+The per-target guarantee is exactly SKQ's: the sketch runs at half the
+tightest eps, drift is counted exactly, and a refresh fires before any
+target's worst case exceeds ``eps_t * |scope_t|``.  k queries therefore
+cost about one gated collection, not k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import COUNTER_BITS, REFINEMENT_REQUEST_BITS, VALUE_BITS
+from repro.core.base import (
+    EQ,
+    GT,
+    LT,
+    ContinuousQuantileAlgorithm,
+    classify,
+    classify_array,
+)
+from repro.errors import ProtocolError
+from repro.serving.grid import value_bounds
+from repro.serving.registry import PlanTarget, QueryRegistry, ServingPlan
+from repro.sim.engine import Payload, TreeNetwork
+from repro.sim.oracle import quantile_rank
+from repro.sketch import QDigest, TaggedSketchPayload
+from repro.sketch.payload import TAG_BITS
+from repro.types import QuerySpec, RoundOutcome
+
+#: On-air bits naming one gate target in a validation message; 8 bits cover
+#: 256 simultaneous targets, far beyond any realistic dashboard.
+TARGET_ID_BITS = 8
+
+
+@dataclass(frozen=True)
+class GridValidationPayload(Payload):
+    """Per-target transition counters, summed tree-wise.
+
+    ``counts`` holds ``(target_index, into_lt, outof_lt, into_gt,
+    outof_gt)`` tuples, sorted by target index, only for targets some
+    sensor in the subtree crossed this round.
+    """
+
+    counts: tuple[tuple[int, int, int, int, int], ...]
+
+    def merged_with(self, other: "GridValidationPayload") -> "GridValidationPayload":
+        merged: dict[int, list[int]] = {}
+        for tid, a, b, c, d in self.counts + other.counts:
+            entry = merged.setdefault(tid, [0, 0, 0, 0])
+            entry[0] += a
+            entry[1] += b
+            entry[2] += c
+            entry[3] += d
+        return GridValidationPayload(
+            counts=tuple(
+                (tid, *merged[tid]) for tid in sorted(merged)
+            )
+        )
+
+    def payload_bits(self) -> int:
+        # Sparse encoding: a 4-bit presence mask per entry, then only the
+        # nonzero counters.  A typical single-sensor crossing carries two
+        # nonzero counters, a pure one-sided shift just one.
+        bits = 0
+        for _, a, b, c, d in self.counts:
+            nonzero = sum(1 for counter in (a, b, c, d) if counter)
+            bits += TARGET_ID_BITS + 4 + nonzero * COUNTER_BITS
+        return bits
+
+    def num_values(self) -> int:
+        return 0
+
+    def is_empty(self) -> bool:
+        return not self.counts
+
+
+@dataclass
+class GateTarget:
+    """Root-side state of one boundary the gate tracks.
+
+    ``l_lo``/``l_hi`` soundly bound ``#{scope values < value}``; for φ
+    targets ``le_lo``/``le_hi`` additionally bound ``#{<= value}``.  Both
+    are digest bounds re-anchored at the last refresh and shifted exactly
+    by transition counters and membership patches since.  ``value is
+    None`` means the scope was empty or delivered no data at the last
+    refresh — answers flag it instead of serving garbage.
+    """
+
+    plan: PlanTarget
+    index: int
+    scope_mask: np.ndarray
+    value: int | None = None
+    l_lo: int = 0
+    l_hi: int = 0
+    le_lo: int = 0
+    le_hi: int = 0
+    value_lo: int | None = None
+    value_hi: int | None = None
+    state: np.ndarray | None = None
+    #: Scope had no participating sensors at the last refresh.
+    empty_scope: bool = field(default=False)
+    #: Boundary targets only: sensors whose refresh-time value sat within
+    #: ``band`` of the boundary.  They are counted as permanently uncertain
+    #: (the bounds carry their worst case) and never report flutter.
+    exempt: np.ndarray | None = None
+    band: int = 0
+
+    @property
+    def eps(self) -> float:
+        return self.plan.eps
+
+
+class MultiQuerySketch(ContinuousQuantileAlgorithm):
+    """The serving layer's network algorithm: a gate over a target matrix.
+
+    Plugs into the fault driver like any other
+    :class:`~repro.core.base.ContinuousQuantileAlgorithm`: the driver's own
+    φ (``spec.phi``) is always tracked as a global target and feeds
+    :attr:`current_quantile`, so repair, degraded rounds and the
+    differential harness all work unchanged.  The registry is shared state
+    *outside* the algorithm — a watchdog re-initialization builds a fresh
+    gate against the same registry, so registered queries survive re-init.
+    """
+
+    exact = False
+    name = "MQS"
+
+    def __init__(
+        self,
+        spec: QuerySpec,
+        registry: QueryRegistry,
+        positions: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(spec)
+        self.registry = registry
+        self.positions = positions
+        self.plan: ServingPlan | None = None
+        self.targets: dict[tuple, GateTarget] = {}
+        self._mask: np.ndarray | None = None
+        #: Full refresh collections performed (initialization included).
+        self.refreshes = 0
+        #: Selective refreshes: collections restricted to the cells of the
+        #: violated targets only (cheap when a small region drifts alone).
+        self.partial_refreshes = 0
+        #: Last broadcast boundary value per target key (delta broadcasts).
+        self._broadcast_values: dict[tuple, int] = {}
+
+    @property
+    def eps(self) -> float:
+        """Tightest tracked budget — what the harness checks answers against."""
+        if self.plan is not None:
+            return self.plan.min_eps
+        return self.registry.plan((), None, self.spec.phi).min_eps
+
+    # -- rounds ---------------------------------------------------------------
+
+    def initialize(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        self._ensure_plan(net)
+        net.phase = "initialization"
+        net.broadcast(VALUE_BITS)  # query dissemination: the plan version
+        collected = self._collect(net, values)
+        self._rebuild(net, values, collected)
+        return RoundOutcome(quantile=self._primary(), filter_broadcast=True)
+
+    def update(self, net: TreeNetwork, values: np.ndarray) -> RoundOutcome:
+        if not self.targets:
+            raise ProtocolError("update() called before initialize()")
+        if self._ensure_plan(net):
+            # Mid-run (de)registration: one refresh re-anchors the new
+            # target matrix — no network re-initialization.
+            return self._refresh(net, values)
+        assert self._mask is not None
+
+        # Validation: exact per-target transition counters (exempt sensors
+        # are inside the bounds already and never report).
+        new_states = {}
+        for target in self.targets.values():
+            if target.value is None or target.state is None:
+                continue
+            tracked = target.scope_mask & self._mask
+            if target.exempt is not None:
+                tracked = tracked & ~target.exempt
+            new_states[target.index] = classify_array(
+                values, target.value, None, tracked
+            )
+        net.phase = "validation"
+        merged = net.convergecast(self._transition_contributions(new_states))
+        if merged is not None:
+            self._apply_counters(merged)
+        by_index = {t.index: t for t in self.targets.values()}
+        for index, state in new_states.items():
+            by_index[index].state = state
+
+        violated = self._violated_targets()
+        if not violated:
+            return RoundOutcome(quantile=self._primary())
+
+        cells_needed = frozenset().union(*(t.plan.cells for t in violated))
+        all_cells = frozenset().union(
+            *(pt.cells for pt in self.plan.targets)
+        )
+        if cells_needed >= all_cells:
+            return self._refresh(net, values)
+        return self._partial_refresh(net, values, cells_needed)
+
+    # -- refresh / rebuild ----------------------------------------------------
+
+    def _ensure_plan(self, net: TreeNetwork) -> bool:
+        """(Re)compile the plan if the registry changed; True if it did."""
+        if self.plan is not None and self.plan.version == self.registry.version:
+            return False
+        self.plan = self.registry.plan(
+            net.tree.sensor_nodes, self.positions, self.spec.phi
+        )
+        return True
+
+    def _refresh(
+        self, net: TreeNetwork, values: np.ndarray, request: bool = True
+    ) -> RoundOutcome:
+        if request:
+            net.phase = "refinement"
+            net.broadcast(REFINEMENT_REQUEST_BITS)
+        collected = self._collect(net, values)
+        self._rebuild(net, values, collected)
+        return RoundOutcome(
+            quantile=self._primary(), refinements=1, filter_broadcast=True
+        )
+
+    def _collect(
+        self,
+        net: TreeNetwork,
+        values: np.ndarray,
+        cells: frozenset[str] | None = None,
+    ) -> TaggedSketchPayload | None:
+        """One shared convergecast: per-cell one-value q-digests, merged.
+
+        With ``cells``, only sensors inside those cells contribute — the
+        selective-refresh path.  Returns ``None`` only for a restricted
+        collection with no eligible sensor; a *full* collection delivering
+        nothing is a protocol failure (the driver re-initializes).
+        """
+        assert self.plan is not None
+        net.phase = "collection"
+        spec = self.spec
+        eps = self.plan.sketch_eps
+        contributions = {}
+        for vertex in self.participating_sensors(net):
+            tag = self.plan.cell_of.get(vertex, "*")
+            if cells is not None and tag not in cells:
+                continue
+            contributions[vertex] = TaggedSketchPayload.single(
+                tag,
+                QDigest.from_values(
+                    (int(values[vertex]),), eps, spec.r_min, spec.r_max
+                ),
+            )
+        if cells is not None and not contributions:
+            return None
+        merged = net.convergecast(contributions)
+        if merged is None and cells is None:
+            raise ProtocolError("serving convergecast delivered nothing")
+        return merged
+
+    def _rebuild(
+        self,
+        net: TreeNetwork,
+        values: np.ndarray,
+        collected: TaggedSketchPayload,
+    ) -> None:
+        """Decode every plan target from the merged payload and re-anchor."""
+        assert self.plan is not None
+        self.refreshes += 1
+        mask = self.participation_mask(net)
+        self._mask = mask
+        targets: dict[tuple, GateTarget] = {}
+        for index, plan_target in enumerate(self.plan.targets):
+            targets[plan_target.key] = self._build_target(
+                plan_target, index, collected, values, mask
+            )
+        self.targets = targets
+        self._broadcast_filters(net)
+
+    def _build_target(
+        self,
+        plan_target: PlanTarget,
+        index: int,
+        collected: TaggedSketchPayload,
+        values: np.ndarray,
+        mask: np.ndarray,
+    ) -> GateTarget:
+        """Fresh gate state for one plan target from a collected payload."""
+        scope_mask = np.zeros(len(values), dtype=bool)
+        if plan_target.scope:
+            scope_mask[list(plan_target.scope)] = True
+        target = GateTarget(
+            plan=plan_target, index=index, scope_mask=scope_mask
+        )
+        participating = scope_mask & mask
+        n_scope = int(participating.sum())
+        sub = collected.merged_cells(plan_target.cells)
+        if n_scope == 0:
+            target.empty_scope = True
+        elif sub is None or sub.n == 0:
+            # Scope populated but nothing arrived (loss/partition ate the
+            # cells): answerless until data flows again.  The driver marks
+            # such rounds untrustworthy via coverage.
+            pass
+        else:
+            missing = max(0, n_scope - sub.n)
+            self._anchor(target, sub, n_scope, missing, values, participating)
+        return target
+
+    def _partial_refresh(
+        self, net: TreeNetwork, values: np.ndarray, cells: frozenset[str]
+    ) -> RoundOutcome:
+        """Re-anchor only the targets whose cells all sit inside ``cells``.
+
+        When a small region drifts past its budget while everything else
+        holds, re-collecting the whole network is waste: the request names
+        the cells, only their sensors answer, and only targets fully
+        covered by the restricted payload re-anchor — the rest keep their
+        exactly-tracked gate state.
+        """
+        assert self.plan is not None and self._mask is not None
+        net.phase = "refinement"
+        net.broadcast(REFINEMENT_REQUEST_BITS + len(cells) * TAG_BITS)
+        collected = self._collect(net, values, cells=cells)
+        if collected is not None:
+            self.partial_refreshes += 1
+            for index, plan_target in enumerate(self.plan.targets):
+                if plan_target.cells and plan_target.cells <= cells:
+                    self.targets[plan_target.key] = self._build_target(
+                        plan_target, index, collected, values, self._mask
+                    )
+            self._broadcast_filters(net)
+        return RoundOutcome(
+            quantile=self._primary(), refinements=1, filter_broadcast=True
+        )
+
+    def _broadcast_filters(self, net: TreeNetwork) -> None:
+        """Flood only the boundary values that changed since the last flood.
+
+        Range endpoints are constants and φ boundaries move slowly, so a
+        full per-target flood every refresh would waste the whole saving —
+        each changed value costs its id plus the value, and an unchanged
+        matrix costs nothing.
+        """
+        changed = 0
+        for target in self.targets.values():
+            if target.value is None:
+                continue
+            if self._broadcast_values.get(target.plan.key) != target.value:
+                changed += 1
+                self._broadcast_values[target.plan.key] = target.value
+        if changed:
+            net.phase = "filter"
+            net.broadcast(changed * (TARGET_ID_BITS + VALUE_BITS))
+
+    def _anchor(
+        self,
+        target: GateTarget,
+        sub,
+        n_scope: int,
+        missing: int,
+        values: np.ndarray,
+        participating: np.ndarray,
+    ) -> None:
+        """Seed one target's value, bounds and state from its sub-digest."""
+        plan_target = target.plan
+        tracked = participating
+        if plan_target.kind == "phi":
+            k = min(quantile_rank(n_scope, plan_target.phi), sub.n)
+            value = int(sub.quantile(k))
+            l_lo, l_hi = sub.rank_bounds(value)
+            le_lo, le_hi = sub.rank_bounds(value + 1)
+            l_hi += missing
+            le_hi += missing
+            target.value_lo, target.value_hi = value_bounds(sub, k)
+        else:
+            value = int(plan_target.boundary)
+            l_lo, l_hi = sub.rank_bounds(value)
+            l_hi += missing
+            # A boundary target's count is tracked exactly, so drift never
+            # widens its bounds — the whole budget can buy an *exemption
+            # band*: sensors currently within ``band`` of the boundary are
+            # absorbed into the bounds as permanently uncertain and never
+            # report noise flutter across the boundary.
+            budget = plan_target.eps * n_scope
+            band = self._exemption_band(sub, value, l_hi - l_lo, budget)
+            if band >= 0:
+                uncertain = max(
+                    0,
+                    sub.rank_bounds(value + band + 1)[1]
+                    - sub.rank_bounds(value - band + 1)[0],
+                )
+                exempt = (
+                    participating
+                    & (values > value - band)
+                    & (values <= value + band)
+                )
+                target.exempt = exempt
+                target.band = band
+                l_lo = max(0, l_lo - uncertain)
+                l_hi = l_hi + uncertain
+                tracked = participating & ~exempt
+            le_lo, le_hi = l_lo, l_hi
+        target.value = value
+        # Missing values could lie on either side: the upper bounds widened
+        # by the shortfall stay sound for the full scope, at the cost of
+        # head-room.
+        target.l_lo, target.l_hi = l_lo, l_hi
+        target.le_lo, target.le_hi = le_lo, le_hi
+        target.state = classify_array(values, value, None, tracked)
+
+    def _exemption_band(self, sub, boundary: int, width: int, budget: float) -> int:
+        """Widest band with ``width + 2 * uncertain(band) <= budget``, or -1.
+
+        ``uncertain(band)`` (an upper bound on the sensors inside the band,
+        from the digest's own rank bounds) is monotone in the band radius,
+        so a binary search finds the widest affordable one.  -1 means even
+        exempting only the boundary's exact ties would blow the budget —
+        the target then tracks every sensor exactly, like the φ targets.
+        """
+
+        def uncertain(band: int) -> int:
+            return max(
+                0,
+                sub.rank_bounds(boundary + band + 1)[1]
+                - sub.rank_bounds(boundary - band + 1)[0],
+            )
+
+        if width + 2 * uncertain(0) > budget:
+            return -1
+        lo, hi = 0, max(0, int(sub.r_max) - int(sub.r_min))
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if width + 2 * uncertain(mid) <= budget:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _primary(self) -> int:
+        """The driver-facing answer: the global target at ``spec.phi``."""
+        assert self.plan is not None
+        target = self.targets.get(self.plan.primary_key)
+        if target is None or target.value is None:
+            raise ProtocolError("primary target has no answer")
+        self.current_quantile = target.value
+        return target.value
+
+    # -- validation helpers ---------------------------------------------------
+
+    def _transition_contributions(
+        self, new_states: dict[int, np.ndarray]
+    ) -> dict[int, GridValidationPayload]:
+        """Per-sensor validation messages across all targets at once."""
+        per_vertex: dict[int, list[tuple[int, int, int, int, int]]] = {}
+        for target in self.targets.values():
+            if target.state is None or target.index not in new_states:
+                continue
+            new_state = new_states[target.index]
+            for vertex in np.flatnonzero(target.state != new_state):
+                vertex = int(vertex)
+                old = int(target.state[vertex])
+                new = int(new_state[vertex])
+                per_vertex.setdefault(vertex, []).append(
+                    (
+                        target.index,
+                        1 if new == LT else 0,
+                        1 if old == LT else 0,
+                        1 if new == GT else 0,
+                        1 if old == GT else 0,
+                    )
+                )
+        return {
+            vertex: GridValidationPayload(counts=tuple(sorted(entries)))
+            for vertex, entries in per_vertex.items()
+        }
+
+    def _apply_counters(self, merged: GridValidationPayload) -> None:
+        by_index = {t.index: t for t in self.targets.values()}
+        for tid, into_lt, outof_lt, into_gt, outof_gt in merged.counts:
+            target = by_index.get(tid)
+            if target is None or target.value is None:
+                continue
+            delta_l = into_lt - outof_lt
+            delta_g = into_gt - outof_gt
+            target.l_lo += delta_l
+            target.l_hi += delta_l
+            if target.plan.kind == "phi":
+                # #{<= f} = n - #{> f} shifts opposite to the gt counter.
+                target.le_lo -= delta_g
+                target.le_hi -= delta_g
+            else:
+                target.le_lo, target.le_hi = target.l_lo, target.l_hi
+
+    def _violated_targets(self) -> list[GateTarget]:
+        """Targets whose worst-case error has left their budget."""
+        assert self._mask is not None
+        violated: list[GateTarget] = []
+        for target in self.targets.values():
+            n_now = int((target.scope_mask & self._mask).sum())
+            if target.value is None:
+                # An empty scope that repopulated needs a refresh to get an
+                # answer; a populated-but-dataless scope retries only via
+                # the next natural refresh (retrying every round would burn
+                # energy against a persistent partition for nothing).
+                if target.empty_scope and n_now > 0:
+                    violated.append(target)
+                continue
+            if n_now == 0:
+                continue  # answers flag the empty scope; nothing to validate
+            if target.plan.kind == "phi":
+                k = quantile_rank(n_now, target.plan.phi)
+                worst = max(0, target.l_hi + 1 - k, k - target.le_lo)
+                if worst > target.eps * n_now:
+                    violated.append(target)
+            elif (target.l_hi - target.l_lo) > target.eps * n_now:
+                violated.append(target)
+        return violated
+
+    # -- answer access (root-side, no radio) ----------------------------------
+
+    def gate_target(self, key: tuple) -> GateTarget | None:
+        """The gate state for one plan target key, or None if unplanned."""
+        return self.targets.get(key)
+
+    def scope_population(self, target: GateTarget) -> int:
+        """Currently participating sensors inside the target's scope."""
+        if self._mask is None:
+            return 0
+        return int((target.scope_mask & self._mask).sum())
+
+    def scope_members(self, target: GateTarget) -> tuple[int, ...]:
+        """Vertex ids of the currently participating sensors in scope."""
+        if self._mask is None:
+            return ()
+        return tuple(
+            int(v) for v in np.flatnonzero(target.scope_mask & self._mask)
+        )
+
+    def grid_answers(self) -> dict[float, tuple[int | None, float]]:
+        """Global φ targets' ``(value, eps)`` — the harness's φ-grid axis."""
+        out: dict[float, tuple[int | None, float]] = {}
+        for target in self.targets.values():
+            if target.plan.kind == "phi" and target.plan.is_global:
+                out[float(target.plan.phi)] = (target.value, target.eps)
+        return out
+
+    # -- repair hooks (repro.faults.repair) -----------------------------------
+
+    def detach(self, net: TreeNetwork, vertex: int) -> None:
+        super().detach(net, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = False
+        for target in self.targets.values():
+            if target.state is None or not target.scope_mask[vertex]:
+                continue
+            if target.exempt is not None and target.exempt[vertex]:
+                # Uncertain member leaves: it may or may not have counted
+                # below the boundary, so only the lower bounds move.
+                target.exempt[vertex] = False
+                target.l_lo = max(0, target.l_lo - 1)
+                if target.plan.kind == "phi":
+                    target.le_lo = max(0, target.le_lo - 1)
+                else:
+                    target.le_lo, target.le_hi = target.l_lo, target.l_hi
+                continue
+            # The node's label per target was tracked exactly, so every
+            # target's sound bounds shift exactly — same as SKQ, per row.
+            label = int(target.state[vertex])
+            if label == LT:
+                target.l_lo = max(0, target.l_lo - 1)
+                target.l_hi = max(0, target.l_hi - 1)
+            if label in (LT, EQ) and target.plan.kind == "phi":
+                target.le_lo = max(0, target.le_lo - 1)
+                target.le_hi = max(0, target.le_hi - 1)
+            if target.plan.kind != "phi":
+                target.le_lo, target.le_hi = target.l_lo, target.l_hi
+            target.state[vertex] = EQ
+
+    def rejoin(self, net: TreeNetwork, values: np.ndarray, vertex: int) -> None:
+        super().rejoin(net, values, vertex)
+        if self._mask is not None:
+            self._mask[vertex] = True
+        for target in self.targets.values():
+            if (
+                target.state is None
+                or target.value is None
+                or not target.scope_mask[vertex]
+            ):
+                continue
+            label = classify(int(values[vertex]), target.value)
+            if label == LT:
+                target.l_lo += 1
+                target.l_hi += 1
+            if label in (LT, EQ) and target.plan.kind == "phi":
+                target.le_lo += 1
+                target.le_hi += 1
+            if target.plan.kind != "phi":
+                target.le_lo, target.le_hi = target.l_lo, target.l_hi
+            target.state[vertex] = label

@@ -1,0 +1,180 @@
+"""Typed continuous queries and the per-query answer record.
+
+The serving layer registers any mix of three query shapes against one
+shared convergecast (see :mod:`repro.serving.registry`):
+
+* :class:`PhiQuery` — a grid of φ-quantiles over the whole network
+  (p50/p95/p99 dashboards are one query with three grid points);
+* :class:`GroupByQuery` — per-region φ-quantiles, the regions named by a
+  region-assignment function evaluated on the topology at registration;
+* :class:`RangeQuery` — the fraction of current readings inside a value
+  interval ``[low, high]``, derived from the same summary.
+
+Answers fan out as :class:`QueryAnswer` records: per-target values with
+bounds, a ``trustworthy`` flag inheriting the fault driver's
+:attr:`~repro.faults.experiment.RoundReport.trustworthy` semantics (plus
+serving-specific reasons such as empty group-by regions), the query's
+rank-error budget and the amortized per-query share of the round's radio
+energy — the number that shows k queries cost ≪ k convergecasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Maps ``(vertex, position)`` to a region name.  ``position`` is the
+#: vertex's ``(x, y)`` coordinates when the deployment provides them,
+#: else ``None`` — assigners that only use the vertex id work everywhere.
+RegionAssigner = Callable[[int, "np.ndarray | None"], str]
+
+#: Default per-query rank-error budget (fraction of the scope population).
+DEFAULT_EPS = 0.05
+
+
+def _validate_eps(eps: float) -> None:
+    if not 0.0 < eps < 1.0:
+        raise ConfigurationError(f"eps must be in (0, 1), got {eps}")
+
+
+def _validate_phis(phis: tuple[float, ...]) -> None:
+    if not phis:
+        raise ConfigurationError("a quantile query needs at least one phi")
+    for phi in phis:
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+
+
+def phi_label(phi: float) -> str:
+    """Human label for a grid point: ``p50``, ``p99``, ``p99.9``."""
+    return f"p{phi * 100:g}"
+
+
+@dataclass(frozen=True)
+class PhiQuery:
+    """A φ-grid over the whole participating population.
+
+    Attributes:
+        name: unique registry key.
+        phis: grid points in [0, 1]; one entry is a plain single-φ query.
+        eps: rank-error budget — every grid answer's rank is within
+            ``eps * |N|`` of the true rank on trustworthy rounds.
+    """
+
+    name: str
+    phis: tuple[float, ...] = (0.5,)
+    eps: float = DEFAULT_EPS
+
+    def __post_init__(self) -> None:
+        _validate_phis(self.phis)
+        _validate_eps(self.eps)
+
+    kind = "phi"
+
+
+@dataclass(frozen=True)
+class GroupByQuery:
+    """Per-region φ-quantiles under a named partition of the sensors.
+
+    ``assign`` is evaluated once per sensor when the collection plan is
+    (re)built; the resulting partition travels in the shared payload as
+    per-region sub-digests, so one convergecast serves every region.
+    """
+
+    name: str
+    assign: RegionAssigner
+    phis: tuple[float, ...] = (0.5,)
+    eps: float = DEFAULT_EPS
+
+    def __post_init__(self) -> None:
+        _validate_phis(self.phis)
+        _validate_eps(self.eps)
+
+    kind = "group-by"
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """Fraction of current readings falling inside ``[low, high]``.
+
+    The answer comes from the same summary's rank bounds at the two
+    interval endpoints; its uncertainty stays within ``eps`` of the true
+    fraction on trustworthy rounds (see the eps planning rule in
+    :mod:`repro.serving.registry`).
+    """
+
+    name: str
+    low: int
+    high: int
+    eps: float = DEFAULT_EPS
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ConfigurationError(
+                f"empty range query interval [{self.low}, {self.high}]"
+            )
+        _validate_eps(self.eps)
+
+    kind = "range"
+
+
+#: Anything the registry accepts.
+Query = Union[PhiQuery, GroupByQuery, RangeQuery]
+
+
+@dataclass(frozen=True)
+class AnswerItem:
+    """One target's answer inside a :class:`QueryAnswer`.
+
+    ``value`` is the served quantile (or fraction for range queries);
+    ``lo``/``hi`` are sound bounds derived from the summary at the last
+    refresh; ``rank_error_bound`` is the root's *current* worst-case rank
+    error for quantile targets (counted exactly between refreshes).
+    ``oracle_error`` is experiment-side diagnostics — the measured rank
+    (or fraction) error against the centralized oracle — and is ``None``
+    when no ground truth was supplied.  ``value is None`` means the
+    target's scope had no participating sensors or delivered no data.
+    """
+
+    label: str
+    value: float | None
+    lo: float | None = None
+    hi: float | None = None
+    rank_error_bound: float = 0.0
+    oracle_error: float | None = None
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One registered query's answer for one round.
+
+    ``trustworthy`` inherits the driver's degraded-mode semantics: it is
+    True only when the underlying round was trustworthy *and* every target
+    of this query had participating sensors and data.  ``reason`` explains
+    a False flag (``"degraded"``, ``"empty-region:<label>"``,
+    ``"no-region-data:<label>"``, ``"stale"``, ``"untrusted-round"``).
+    """
+
+    query: str
+    kind: str
+    round_index: int
+    items: tuple[AnswerItem, ...]
+    trustworthy: bool
+    reason: str | None
+    #: The query's rank-error budget ``eps * |scope|`` (rank units for
+    #: quantile targets; for range queries the fraction budget is ``eps``).
+    rank_error_budget: float
+    #: Amortized share of this round's total radio energy [mJ]: the round
+    #: bill divided by the number of registered queries.
+    energy_share_mj: float
+
+    def item(self, label: str) -> AnswerItem:
+        """Look up one answer item by its label."""
+        for item in self.items:
+            if item.label == label:
+                return item
+        raise KeyError(f"no answer item {label!r} in query {self.query!r}")

@@ -16,7 +16,17 @@ algorithm on top.
 """
 
 from repro.sketch.kll import KLLSketch
-from repro.sketch.payload import QuantileSketch, SketchPayload
+from repro.sketch.payload import (
+    QuantileSketch,
+    SketchPayload,
+    TaggedSketchPayload,
+)
 from repro.sketch.qdigest import QDigest
 
-__all__ = ["KLLSketch", "QDigest", "QuantileSketch", "SketchPayload"]
+__all__ = [
+    "KLLSketch",
+    "QDigest",
+    "QuantileSketch",
+    "SketchPayload",
+    "TaggedSketchPayload",
+]

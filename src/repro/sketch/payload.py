@@ -44,6 +44,12 @@ class QuantileSketch(Protocol):
     def rank_bounds(self, x: int) -> tuple[int, int]: ...
 
 
+#: On-air bits spent naming one region tag in a tagged payload.  Cell tags
+#: are interned small integers in a real deployment; 8 bits cover 256
+#: distinct group-by cells.
+TAG_BITS = 8
+
+
 @dataclass(frozen=True)
 class SketchPayload(Payload):
     """One sketch travelling up the tree.
@@ -73,3 +79,77 @@ class SketchPayload(Payload):
 
     def is_empty(self) -> bool:
         return self.sketch.n == 0
+
+
+@dataclass(frozen=True)
+class TaggedSketchPayload(Payload):
+    """Per-region sub-sketches travelling up the tree as one payload.
+
+    The multi-query serving layer partitions sensors into group-by *cells*
+    (the common refinement of every registered partition); each sensor
+    contributes a one-value sketch tagged with its cell, and merging is
+    tag-wise — so the root receives one sub-sketch per cell and can answer
+    any region's quantiles by merging the region's cells, and any global
+    query by merging everything.  One convergecast, every scope.
+
+    ``sketches`` is kept sorted by tag so equality and merging stay
+    deterministic regardless of merge order.
+    """
+
+    sketches: tuple[tuple[str, QuantileSketch], ...]
+
+    @classmethod
+    def single(cls, tag: str, sketch: QuantileSketch) -> "TaggedSketchPayload":
+        """One sensor's contribution: its cell tag and a one-value sketch."""
+        return cls(sketches=((tag, sketch),))
+
+    def merged_with(self, other: "TaggedSketchPayload") -> "TaggedSketchPayload":
+        merged: dict[str, QuantileSketch] = dict(self.sketches)
+        for tag, sketch in other.sketches:
+            mine = merged.get(tag)
+            if mine is None:
+                merged[tag] = sketch
+            else:
+                if type(mine) is not type(sketch):
+                    raise ProtocolError(
+                        f"cannot merge {type(mine).__name__} with "
+                        f"{type(sketch).__name__} under tag {tag!r}"
+                    )
+                merged[tag] = mine.merged(sketch)
+        return TaggedSketchPayload(sketches=tuple(sorted(merged.items())))
+
+    def payload_bits(self) -> int:
+        return sum(
+            TAG_BITS + sketch.payload_bits() for _, sketch in self.sketches
+        )
+
+    def num_values(self) -> int:
+        return sum(sketch.num_entries() for _, sketch in self.sketches)
+
+    def is_empty(self) -> bool:
+        return all(sketch.n == 0 for _, sketch in self.sketches)
+
+    @property
+    def n(self) -> int:
+        """Total number of summarized measurements across all cells."""
+        return sum(sketch.n for _, sketch in self.sketches)
+
+    def cell(self, tag: str) -> QuantileSketch | None:
+        """The sub-sketch of one cell, or ``None`` if nothing arrived for it."""
+        for name, sketch in self.sketches:
+            if name == tag:
+                return sketch
+        return None
+
+    def merged_cells(self, tags: "frozenset[str] | set[str] | None" = None):
+        """Merge the sub-sketches of ``tags`` (default: all) into one sketch.
+
+        Returns ``None`` when no selected cell delivered anything — the
+        caller flags the scope as answerless instead of dividing by zero.
+        """
+        result: QuantileSketch | None = None
+        for tag, sketch in self.sketches:
+            if tags is not None and tag not in tags:
+                continue
+            result = sketch if result is None else result.merged(sketch)
+        return result

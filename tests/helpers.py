@@ -25,7 +25,7 @@ from repro.network.tree import RoutingTree
 from repro.radio.energy import EnergyModel
 from repro.radio.ledger import EnergyLedger
 from repro.sim.engine import TreeNetwork
-from repro.sim.oracle import exact_quantile, quantile_rank
+from repro.sim.oracle import exact_quantile, quantile_rank, rank_error
 from repro.types import QuerySpec, RoundOutcome
 
 
@@ -134,27 +134,79 @@ def assert_differential_invariant(
             heal_patience=heal_patience,
         )
         reports = driver.run(len(rounds))
+        algorithm = driver.algorithm
         trustworthy = 0
+        last_trusted: RoundReport | None = None
         for report in reports:
             if not report.trustworthy:
                 continue
             trustworthy += 1
+            last_trusted = report
             participants = list(report.participating)
+            values = workload.values(report.round_index)[participants]
             k = quantile_rank(len(participants), spec.phi)
-            truth = exact_quantile(
-                workload.values(report.round_index)[participants], k
-            )
-            assert report.answer == truth, (
-                f"{name} round {report.round_index}: answered "
-                f"{report.answer}, oracle over the {len(participants)} "
-                f"participating sensors says {truth}"
-            )
+            if algorithm.exact:
+                truth = exact_quantile(values, k)
+                assert report.answer == truth, (
+                    f"{name} round {report.round_index}: answered "
+                    f"{report.answer}, oracle over the {len(participants)} "
+                    f"participating sensors says {truth}"
+                )
+            else:
+                # Approximate algorithms promise bounded rank error instead
+                # of equality — the differential form of the same invariant.
+                budget = algorithm.eps * len(participants)
+                error = rank_error(values, report.answer, k)
+                assert error <= budget, (
+                    f"{name} round {report.round_index}: rank error "
+                    f"{error} exceeds the eps*n budget {budget}"
+                )
         assert trustworthy >= min_trustworthy, (
             f"{name}: only {trustworthy} trustworthy rounds out of "
             f"{len(reports)} — the invariant would be vacuous"
         )
+        if last_trusted is not None and last_trusted is reports[-1]:
+            _assert_phi_grid_invariant(name, algorithm, workload, last_trusted)
         reports_by_name[name] = reports
     return reports_by_name
+
+
+def _assert_phi_grid_invariant(
+    name: str,
+    algorithm: ContinuousQuantileAlgorithm,
+    workload: "SequenceWorkload",
+    report: RoundReport,
+) -> None:
+    """The φ-grid axis: every served grid point is monotone and in budget.
+
+    Algorithms exposing ``grid_answers()`` (the multi-query serving gate)
+    get their whole global φ-grid checked against the oracle on the final
+    trustworthy round: values non-decreasing in φ, every value within its
+    own ``eps * n`` rank budget.
+    """
+    grid_answers = getattr(algorithm, "grid_answers", None)
+    if grid_answers is None:
+        return
+    grid = grid_answers()
+    participants = list(report.participating)
+    values = workload.values(report.round_index)[participants]
+    previous_value = None
+    for phi in sorted(grid):
+        value, eps = grid[phi]
+        if value is None:
+            continue
+        if previous_value is not None:
+            assert value >= previous_value, (
+                f"{name}: φ-grid not monotone at phi={phi}: "
+                f"{value} < {previous_value}"
+            )
+        previous_value = value
+        k = quantile_rank(len(participants), phi)
+        error = rank_error(values, value, k)
+        assert error <= eps * len(participants), (
+            f"{name}: φ-grid point phi={phi} rank error {error} exceeds "
+            f"budget {eps * len(participants)}"
+        )
 
 
 def random_rounds(

@@ -1,0 +1,307 @@
+"""Multi-query serving: registry lifecycle, planning, grid math, answers.
+
+The fault-free half of the serving tests: registering typed queries,
+compiling them into one shared plan (eps planning rule, content-based
+target dedup, group-by cells), decoding φ-grids and range fractions from
+one q-digest, and serving a whole dashboard from a single gated
+convergecast — including mid-run (de)registration without re-initializing
+the network.  The faulted half lives in ``test_serving_faults.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.errors import ConfigurationError
+from repro.network.routing import build_routing_tree
+from repro.network.topology import connected_random_graph
+from repro.serving import (
+    GroupByQuery,
+    MultiQueryRunner,
+    PhiQuery,
+    QueryRegistry,
+    RangeQuery,
+    oracle_grid,
+    phi_grid,
+    phi_label,
+    range_count_bounds,
+    value_bounds,
+)
+from repro.sim.oracle import exact_quantile, quantile_rank, rank_error
+from repro.sketch import QDigest
+from repro.types import QuerySpec
+
+
+def make_deployment(num_nodes=30, seed=11, radio_range=60.0):
+    rng = np.random.default_rng(seed)
+    graph = connected_random_graph(num_nodes + 1, radio_range, rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(graph.positions, rng)
+    spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+    return graph, tree, workload, spec
+
+
+def halves(vertex, position):
+    if position is None:
+        return "west"
+    return "east" if position[0] > 100.0 else "west"
+
+
+class TestRegistryLifecycle:
+    def test_register_deregister_roundtrip(self):
+        registry = QueryRegistry()
+        q = PhiQuery("grid", phis=(0.5, 0.95))
+        registry.register(q)
+        assert len(registry) == 1
+        assert "grid" in registry
+        assert registry.query("grid") is q
+        assert registry.queries == (q,)
+        registry.deregister("grid")
+        assert len(registry) == 0
+        assert "grid" not in registry
+
+    def test_version_increments_on_every_mutation(self):
+        registry = QueryRegistry()
+        v0 = registry.version
+        registry.register(PhiQuery("a"))
+        registry.register(RangeQuery("b", low=10, high=20))
+        registry.deregister("a")
+        assert registry.version == v0 + 3
+
+    def test_duplicate_name_rejected(self):
+        registry = QueryRegistry()
+        registry.register(PhiQuery("a"))
+        with pytest.raises(ConfigurationError):
+            registry.register(RangeQuery("a", low=0, high=1))
+
+    def test_unknown_name_rejected(self):
+        registry = QueryRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.deregister("ghost")
+        with pytest.raises(ConfigurationError):
+            registry.query("ghost")
+
+    def test_query_validation(self):
+        with pytest.raises(ConfigurationError):
+            PhiQuery("bad", phis=(1.5,))
+        with pytest.raises(ConfigurationError):
+            PhiQuery("bad", phis=())
+        with pytest.raises(ConfigurationError):
+            PhiQuery("bad", eps=0.0)
+        with pytest.raises(ConfigurationError):
+            RangeQuery("bad", low=10, high=5)
+
+
+class TestPlanning:
+    def test_eps_planning_rule_min_over_queries(self):
+        registry = QueryRegistry()
+        registry.register(PhiQuery("loose", eps=0.2))
+        registry.register(PhiQuery("tight", phis=(0.9,), eps=0.02))
+        plan = registry.plan((1, 2, 3), None, 0.5)
+        assert plan.min_eps == 0.02
+        assert plan.sketch_eps == 0.01
+
+    def test_empty_registry_falls_back_to_default_eps(self):
+        registry = QueryRegistry()
+        plan = registry.plan((1, 2), None, 0.5)
+        assert plan.min_eps == 0.05
+        # The driver's own phi is still tracked.
+        assert plan.target(plan.primary_key).phi == 0.5
+
+    def test_content_dedup_shares_targets_and_tightens_eps(self):
+        registry = QueryRegistry()
+        registry.register(PhiQuery("a", phis=(0.95,), eps=0.1))
+        registry.register(PhiQuery("b", phis=(0.95,), eps=0.02))
+        plan = registry.plan((1, 2, 3), None, 0.95)
+        # Primary + both queries all collapse onto one global p95 target.
+        phi_targets = [t for t in plan.targets if t.kind == "phi"]
+        assert len(phi_targets) == 1
+        assert phi_targets[0].eps == 0.02
+
+    def test_group_by_cells_are_common_refinement(self):
+        registry = QueryRegistry()
+        registry.register(GroupByQuery("h", assign=halves))
+        positions = np.array([[0.0, 0.0]] + [[x, 0.0] for x in (50, 150, 250)])
+        plan = registry.plan((1, 2, 3), positions, 0.5)
+        assert plan.cell_of == {1: "west", 2: "east", 3: "east"}
+        labels = {
+            item.label
+            for qp in plan.query_plans
+            for item in qp.items
+        }
+        assert labels == {"west:p50", "east:p50"}
+
+    def test_range_query_plans_two_boundaries(self):
+        registry = QueryRegistry()
+        registry.register(RangeQuery("r", low=100, high=199))
+        plan = registry.plan((1, 2), None, 0.5)
+        boundaries = sorted(
+            t.boundary for t in plan.targets if t.kind == "boundary"
+        )
+        assert boundaries == [100, 200]
+
+
+class TestGridMath:
+    def digest(self, values):
+        return QDigest.from_values(
+            tuple(int(v) for v in values), 0.01, 0, 1023
+        )
+
+    def test_phi_grid_matches_oracle_on_exact_digest(self):
+        values = np.arange(1, 101)
+        sketch = self.digest(values)
+        grid = phi_grid(sketch, (0.1, 0.5, 0.9))
+        for phi, value in zip((0.1, 0.5, 0.9), grid):
+            k = quantile_rank(len(values), phi)
+            assert rank_error(values, value, k) <= 0.01 * len(values)
+
+    def test_range_count_bounds_contain_truth(self):
+        values = np.array([10, 20, 30, 40, 50, 60])
+        sketch = self.digest(values)
+        lo, hi = range_count_bounds(sketch, 20, 45)
+        assert lo <= 3 <= hi
+
+    def test_phi_grid_rejects_empty_sketch(self):
+        sketch = QDigest.from_values((), 0.05, 0, 1023)
+        with pytest.raises(Exception):
+            phi_grid(sketch, (0.5,))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 1023), min_size=1, max_size=120),
+    eps=st.sampled_from([0.02, 0.05, 0.1]),
+)
+def test_phi_grid_monotone_and_bounds_contain_oracle(values, eps):
+    """Property: a decoded φ-grid is monotone and its bounds hold the oracle.
+
+    For any value multiset and budget, the grid decoded from one q-digest
+    must be non-decreasing in φ, every grid point must be within
+    ``eps * n`` ranks of the true quantile, and every per-φ value interval
+    from :func:`value_bounds` must contain the oracle's exact quantile.
+    """
+    array = np.asarray(values)
+    sketch = QDigest.from_values(tuple(values), eps, 0, 1023)
+    phis = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+    grid = phi_grid(sketch, phis)
+    assert list(grid) == sorted(grid)
+    for phi, value in zip(phis, grid):
+        k = quantile_rank(len(values), phi)
+        assert rank_error(array, value, k) <= eps * len(values)
+        lo, hi = value_bounds(sketch, k)
+        oracle = exact_quantile(array, k)
+        assert lo <= oracle <= hi
+
+
+class TestServingFaultFree:
+    def dashboard(self):
+        registry = QueryRegistry()
+        registry.register(PhiQuery("grid", phis=(0.5, 0.95, 0.99)))
+        registry.register(GroupByQuery("halves", assign=halves))
+        registry.register(RangeQuery("mid", low=200, high=599))
+        return registry
+
+    def test_all_queries_served_within_budget(self):
+        graph, tree, workload, spec = make_deployment()
+        registry = self.dashboard()
+        runner = MultiQueryRunner(registry, spec, tree, workload, graph=graph)
+        rounds = runner.run(20)
+        assert len(rounds) == 20
+        population = tree.num_sensor_nodes
+        for served in rounds:
+            assert {a.query for a in served.answers} == {
+                "grid", "halves", "mid"
+            }
+            for answer in served.answers:
+                assert answer.trustworthy, answer.reason
+                for item in answer.items:
+                    assert item.value is not None
+                    if answer.kind == "range":
+                        assert item.oracle_error <= 0.05
+                        assert item.lo <= item.value <= item.hi
+                    else:
+                        assert item.oracle_error <= 0.05 * population
+
+    def test_group_by_answers_match_region_oracle(self):
+        graph, tree, workload, spec = make_deployment(seed=5)
+        registry = self.dashboard()
+        runner = MultiQueryRunner(registry, spec, tree, workload, graph=graph)
+        rounds = runner.run(10)
+        regions = {
+            vertex: halves(vertex, graph.positions[vertex])
+            for vertex in tree.sensor_nodes
+        }
+        for served in rounds:
+            values = workload.values(served.report.round_index)
+            answer = next(a for a in served.answers if a.query == "halves")
+            for region in ("west", "east"):
+                members = [v for v, r in regions.items() if r == region]
+                if not members:
+                    continue
+                item = answer.item(f"{region}:p50")
+                (truth,) = oracle_grid(values, members, (0.5,))
+                k = quantile_rank(len(members), 0.5)
+                assert (
+                    rank_error(values[members], int(item.value), k)
+                    <= 0.05 * len(members)
+                )
+                assert truth >= 0
+
+    def test_energy_share_is_amortized_across_queries(self):
+        graph, tree, workload, spec = make_deployment()
+        registry = self.dashboard()
+        runner = MultiQueryRunner(registry, spec, tree, workload, graph=graph)
+        runner.run(8)
+        stats = runner.stats()
+        assert len(stats) == 3
+        total = sum(s.total_energy_mj for s in stats)
+        shares = {round(s.total_energy_mj, 9) for s in stats}
+        assert len(shares) == 1  # equal split of the shared convergecast
+        assert total > 0.0
+
+    def test_mid_run_registration_without_reinit(self):
+        graph, tree, workload, spec = make_deployment()
+        registry = QueryRegistry()
+        registry.register(PhiQuery("grid", phis=(0.5,)))
+        runner = MultiQueryRunner(registry, spec, tree, workload, graph=graph)
+        runner.run(5)
+
+        runner.register(PhiQuery("p99", phis=(0.99,), eps=0.04))
+        served = runner.step(5)
+        assert {a.query for a in served.answers} == {"grid", "p99"}
+        p99 = next(a for a in served.answers if a.query == "p99")
+        assert p99.trustworthy
+        assert p99.items[0].value is not None
+        # The tighter new budget re-plans the shared sketch...
+        assert runner.driver.algorithm.plan.min_eps == 0.04
+        # ...through one refresh, never a network re-initialization.
+        assert runner.driver.reinits == 0
+
+        runner.deregister("p99")
+        served = runner.step(6)
+        assert {a.query for a in served.answers} == {"grid"}
+        assert runner.driver.reinits == 0
+
+    def test_answers_flag_stale_plan_instead_of_guessing(self):
+        graph, tree, workload, spec = make_deployment()
+        registry = QueryRegistry()
+        registry.register(PhiQuery("grid"))
+        runner = MultiQueryRunner(registry, spec, tree, workload, graph=graph)
+        runner.run(2)
+        # Mutate the registry and fan out *without* stepping the gate.
+        registry.register(PhiQuery("late", phis=(0.9,)))
+        answers = registry.answers(
+            runner.driver.algorithm, 2, round_trustworthy=True
+        )
+        assert all(not a.trustworthy for a in answers)
+        assert all(a.reason == "stale" for a in answers)
+
+
+def test_phi_label():
+    assert phi_label(0.5) == "p50"
+    assert phi_label(0.99) == "p99"
+    assert phi_label(0.999) == "p99.9"

@@ -1,0 +1,181 @@
+"""Multi-query serving under faults: loss, churn, outages, degraded rounds.
+
+The serving layer's answers must survive everything the fault layer does
+to the network: repair and membership patching keep every target's bounds
+sound (checked by the differential invariant harness with its φ-grid
+axis), group-by regions whose sensors all drop out are flagged instead of
+served stale or divided by zero, and fully degraded rounds re-serve the
+cached answers re-flagged untrustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults import FaultPlan, ScheduledOutages
+from repro.faults.plan import IndependentLoss, RandomOutages
+from repro.network.routing import build_routing_tree
+from repro.network.topology import build_physical_graph, connected_random_graph
+from repro.serving import (
+    GroupByQuery,
+    MultiQuerySketch,
+    MultiQueryRunner,
+    PhiQuery,
+    QueryRegistry,
+    RangeQuery,
+)
+from repro.types import QuerySpec
+
+from tests.helpers import (
+    SequenceWorkload,
+    assert_differential_invariant,
+    random_rounds,
+)
+
+RANGE = 10.0
+
+
+def deployment(positions):
+    """Hand-placed line deployment (root at 0), range 10 — one hop apart."""
+    positions = np.asarray(positions, dtype=float)
+    graph = build_physical_graph(positions, RANGE)
+    tree = build_routing_tree(graph, root=0)
+    return graph, tree
+
+
+def east_west(vertex, position):
+    if position is None:
+        return "west"
+    return "east" if position[0] >= 20.0 else "west"
+
+
+class TestEmptyRegionAnswers:
+    """A group-by region losing every sensor must be flagged, not faked."""
+
+    def build(self, outages):
+        # Sensors 1-3 sit west; sensor 4 is the *only* east member and is
+        # chained through 3, so taking 4 down empties the east region.
+        graph, tree = deployment(
+            [(0.0, 0.0), (8.0, 0.0), (8.0, 8.0), (16.0, 0.0), (24.0, 0.0)]
+        )
+        rng = np.random.default_rng(7)
+        rounds = [
+            np.clip(rng.integers(100, 900, size=5), 0, 1023) for _ in range(8)
+        ]
+        registry = QueryRegistry()
+        registry.register(GroupByQuery("regions", assign=east_west))
+        registry.register(PhiQuery("grid", phis=(0.5,)))
+        runner = MultiQueryRunner(
+            registry,
+            QuerySpec(r_min=0, r_max=1023),
+            tree,
+            SequenceWorkload(rounds),
+            FaultPlan(outages=ScheduledOutages(outages)),
+            graph=graph,
+            positions=graph.positions,
+            radio_range=RANGE,
+        )
+        return runner
+
+    def test_empty_region_flagged_without_divide_by_zero(self):
+        runner = self.build({2: [(4, 2)]})  # sensor 4 down rounds 2-3
+        rounds = runner.run(8)
+        for served in rounds:
+            answer = next(a for a in served.answers if a.query == "regions")
+            east = answer.item("east:p50")
+            if served.report.round_index in (2, 3):
+                # The region is empty: no value, an explicit reason, and the
+                # answer is not trustworthy — never a stale east median.
+                assert not answer.trustworthy
+                assert answer.reason == "empty-region:east:p50"
+                assert east.value is None
+            elif served.report.trustworthy:
+                assert answer.trustworthy, answer.reason
+                assert east.value is not None
+                # The global grid keeps serving through the outage.
+                grid = next(a for a in served.answers if a.query == "grid")
+                assert grid.items[0].value is not None
+
+    def test_region_recovers_after_outage(self):
+        runner = self.build({2: [(4, 2)]})
+        rounds = runner.run(8)
+        tail = [
+            next(a for a in served.answers if a.query == "regions")
+            for served in rounds
+            if served.report.round_index >= 4
+        ]
+        assert any(
+            a.trustworthy and a.item("east:p50").value is not None
+            for a in tail
+        )
+
+
+class TestDegradedRounds:
+    def test_degraded_round_serves_cached_answers_flagged(self):
+        # Both sensors down at once: the round degrades, the algorithm is
+        # never stepped, and the cached answers come back re-flagged.
+        graph, tree = deployment([(0.0, 0.0), (8.0, 0.0), (16.0, 0.0)])
+        rng = np.random.default_rng(3)
+        rounds = [rng.integers(100, 900, size=3) for _ in range(6)]
+        registry = QueryRegistry()
+        registry.register(PhiQuery("grid", phis=(0.5, 0.9)))
+        registry.register(RangeQuery("mid", low=300, high=600))
+        runner = MultiQueryRunner(
+            registry,
+            QuerySpec(r_min=0, r_max=1023),
+            tree,
+            SequenceWorkload(rounds),
+            FaultPlan(outages=ScheduledOutages({2: [(1, 2), (2, 2)]})),
+            graph=graph,
+            radio_range=RANGE,
+        )
+        served_rounds = runner.run(6)
+        degraded = [
+            s for s in served_rounds if s.report.degraded
+        ]
+        assert degraded, "the scheduled total outage must degrade rounds"
+        for served in degraded:
+            assert {a.query for a in served.answers} == {"grid", "mid"}
+            for answer in served.answers:
+                assert not answer.trustworthy
+                assert answer.reason == "degraded"
+                # Cached values, not empty answers: round 0-1 served fine.
+                assert any(i.value is not None for i in answer.items)
+
+
+class TestDifferentialInvariant:
+    def test_serving_gate_under_loss_and_churn(self):
+        """The harness's budget + φ-grid axes over the full serving gate."""
+        rng = np.random.default_rng(17)
+        graph = connected_random_graph(25, 60.0, rng)
+        tree = build_routing_tree(graph, root=0)
+        rounds = random_rounds(rng, 25, 24, 100, 900, drift=2.0)
+        spec = QuerySpec(r_min=0, r_max=1023)
+
+        registry = QueryRegistry()
+        registry.register(PhiQuery("grid", phis=(0.25, 0.5, 0.9)))
+        registry.register(GroupByQuery("halves", assign=east_west))
+        registry.register(RangeQuery("mid", low=300, high=700))
+
+        def factory(s):
+            return MultiQuerySketch(
+                s, registry=registry, positions=graph.positions
+            )
+
+        def plan_factory():
+            return FaultPlan(
+                loss=IndependentLoss(0.05),
+                outages=RandomOutages(0.02),
+                seed=99,
+            )
+
+        assert_differential_invariant(
+            {"MQS": factory},
+            graph,
+            tree,
+            rounds,
+            spec,
+            plan_factory,
+            retries=8,
+            min_trustworthy=5,
+        )
