@@ -1,0 +1,220 @@
+"""CI perf gate: compare fresh ``BENCH_*.json`` records against baselines.
+
+Every benchmark run emits machine-readable perf records via
+``benchmarks/common.py::emit_perf``.  This script compares the fresh
+records (``benchmarks/results/``) against the committed baselines
+(``benchmarks/baselines/``) and fails the build when a hot path regressed:
+
+* metrics whose key ends in ``rounds_per_sec`` are higher-is-better and
+  may not drop more than ``--max-slowdown`` (default 25%) below baseline;
+* ``peak_rss_kb`` is lower-is-better and may not grow more than
+  ``--max-rss-growth`` (default 20%) above baseline;
+* every other numeric metric is informational.
+
+Records are only compared at matching ``scale`` (a record measured at
+``REPRO_BENCH_SCALE=0.15`` says nothing about a 0.05 baseline): a scale
+mismatch warns and skips the file.  A fresh record without a committed
+baseline warns and passes — the follow-up PR commits the baseline.  A
+malformed record (unparseable, or not a JSON object) is a hard failure
+either side: silent corruption must not read as "no regression".
+
+Refresh the baselines with ``--update`` (locally, or via the
+``refresh_baselines`` workflow_dispatch input) after an intentional perf
+change, and commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINES_DIR = Path(__file__).parent / "baselines"
+
+#: Relative drop allowed on higher-is-better throughput metrics.
+DEFAULT_MAX_SLOWDOWN = 0.25
+#: Relative growth allowed on peak RSS.
+DEFAULT_MAX_RSS_GROWTH = 0.20
+
+
+class MalformedRecord(Exception):
+    """A perf record that cannot be trusted (bad JSON, wrong shape)."""
+
+
+def load_record(path: Path) -> dict:
+    """Parse one ``BENCH_*.json``; raises :class:`MalformedRecord`."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise MalformedRecord(f"{path}: unreadable perf record: {exc}") from exc
+    if not isinstance(record, dict):
+        raise MalformedRecord(
+            f"{path}: perf record must be a JSON object, got "
+            f"{type(record).__name__}"
+        )
+    return record
+
+
+def numeric_leaves(record, prefix: str = "") -> dict[str, float]:
+    """Flatten a record to ``dotted.path -> value`` for its numeric leaves."""
+    leaves: dict[str, float] = {}
+    if isinstance(record, dict):
+        for key, value in record.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(numeric_leaves(value, path))
+    elif isinstance(record, list):
+        for index, value in enumerate(record):
+            leaves.update(numeric_leaves(value, f"{prefix}[{index}]"))
+    elif isinstance(record, (int, float)) and not isinstance(record, bool):
+        leaves[prefix] = float(record)
+    return leaves
+
+
+def metric_kind(path: str) -> str | None:
+    """Gated metric class of a flattened path, or ``None`` if informational."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf.endswith("rounds_per_sec"):
+        return "throughput"
+    if leaf == "peak_rss_kb":
+        return "rss"
+    return None
+
+
+def compare_record(
+    name: str,
+    fresh: dict,
+    baseline: dict,
+    max_slowdown: float,
+    max_rss_growth: float,
+) -> tuple[list[str], list[str]]:
+    """Compare one fresh record to its baseline.
+
+    Returns ``(failures, notes)`` — human-readable lines; any failure line
+    fails the gate.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    if fresh.get("scale") != baseline.get("scale"):
+        notes.append(
+            f"{name}: scale mismatch (fresh {fresh.get('scale')!r} vs "
+            f"baseline {baseline.get('scale')!r}) — skipping comparison"
+        )
+        return failures, notes
+    fresh_leaves = numeric_leaves(fresh)
+    baseline_leaves = numeric_leaves(baseline)
+    compared = 0
+    for path, base_value in sorted(baseline_leaves.items()):
+        kind = metric_kind(path)
+        if kind is None:
+            continue
+        if path not in fresh_leaves:
+            notes.append(f"{name}: {path} missing from fresh record")
+            continue
+        value = fresh_leaves[path]
+        compared += 1
+        if kind == "throughput":
+            floor = base_value * (1.0 - max_slowdown)
+            if value < floor:
+                failures.append(
+                    f"{name}: {path} regressed: {value:.2f} < floor "
+                    f"{floor:.2f} (baseline {base_value:.2f}, "
+                    f"-{max_slowdown:.0%} allowed)"
+                )
+        elif kind == "rss" and base_value > 0:
+            ceiling = base_value * (1.0 + max_rss_growth)
+            if value > ceiling:
+                failures.append(
+                    f"{name}: {path} grew: {value:.0f} kB > ceiling "
+                    f"{ceiling:.0f} kB (baseline {base_value:.0f} kB, "
+                    f"+{max_rss_growth:.0%} allowed)"
+                )
+    notes.append(f"{name}: {compared} gated metrics compared, scale "
+                 f"{fresh.get('scale')!r}")
+    return failures, notes
+
+
+def check(
+    fresh_dir: Path,
+    baselines_dir: Path,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+    max_rss_growth: float = DEFAULT_MAX_RSS_GROWTH,
+    update: bool = False,
+) -> int:
+    """Run the gate; returns the process exit code."""
+    fresh_paths = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_paths:
+        print(f"FAIL: no fresh BENCH_*.json records under {fresh_dir}")
+        return 1
+    if update:
+        baselines_dir.mkdir(parents=True, exist_ok=True)
+        for path in fresh_paths:
+            load_record(path)  # refuse to enshrine a malformed record
+            shutil.copy(path, baselines_dir / path.name)
+            print(f"baseline refreshed: {baselines_dir / path.name}")
+        return 0
+    failures: list[str] = []
+    for path in fresh_paths:
+        fresh = load_record(path)
+        baseline_path = baselines_dir / path.name
+        if not baseline_path.exists():
+            print(
+                f"WARN: {path.name} has no committed baseline under "
+                f"{baselines_dir} — passing; commit one to arm the gate"
+            )
+            continue
+        baseline = load_record(baseline_path)
+        record_failures, notes = compare_record(
+            path.name, fresh, baseline, max_slowdown, max_rss_growth
+        )
+        for note in notes:
+            print(note)
+        failures.extend(record_failures)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, default=RESULTS_DIR,
+        help="directory holding the freshly emitted BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=BASELINES_DIR,
+        help="directory holding the committed baseline records",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=DEFAULT_MAX_SLOWDOWN,
+        help="allowed relative rounds/sec drop (default 0.25)",
+    )
+    parser.add_argument(
+        "--max-rss-growth", type=float, default=DEFAULT_MAX_RSS_GROWTH,
+        help="allowed relative peak-RSS growth (default 0.20)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="copy the fresh records over the baselines instead of gating",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return check(
+            args.fresh,
+            args.baselines,
+            max_slowdown=args.max_slowdown,
+            max_rss_growth=args.max_rss_growth,
+            update=args.update,
+        )
+    except MalformedRecord as exc:
+        print(f"FAIL: {exc}")
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

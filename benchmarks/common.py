@@ -22,6 +22,8 @@ from repro.experiments.report import format_sweep_table
 from repro.experiments.sweeps import SweepResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
+#: Repo root, where the committed (diffable) copy of each perf record lives.
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def bench_scale() -> float:
@@ -105,14 +107,20 @@ def peak_rss_kb() -> int:
 def emit_perf(name: str, payload: dict) -> Path:
     """Archive a machine-readable perf record as ``BENCH_<name>.json``.
 
-    The payload is augmented with the process's peak RSS and written under
-    ``benchmarks/results/`` so CI uploads it with the text tables.
+    The payload is augmented with the process's peak RSS and the benchmark
+    scale it was measured at (``benchmarks/check_perf.py`` refuses to
+    compare records across scales).  The record is written twice: under
+    ``benchmarks/results/`` so CI uploads it with the text tables, and at
+    the repo root so the perf trajectory is committed and diffable per PR.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     record = dict(payload)
     record.setdefault("peak_rss_kb", peak_rss_kb())
+    record.setdefault("scale", bench_scale())
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
     path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    path.write_text(text)
+    (REPO_ROOT / f"BENCH_{name}.json").write_text(text)
     return path
 
 

@@ -198,8 +198,9 @@ class FaultyTreeNetwork(TreeNetwork):
         arq: ArqPolicy | None = None,
         virtual_vertices: frozenset[int] | set[int] = frozenset(),
         link_stats: LinkQualityEstimator | None = None,
+        core: str | None = None,
     ) -> None:
-        super().__init__(tree, ledger, virtual_vertices)
+        super().__init__(tree, ledger, virtual_vertices, core=core)
         self.plan = plan if plan is not None else FaultPlan()
         self.arq = arq if arq is not None else ArqPolicy()
         if link_stats is None:
@@ -245,6 +246,17 @@ class FaultyTreeNetwork(TreeNetwork):
     def _vertex_down(self, vertex: int) -> bool:
         return self.plan.is_down(vertex)
 
+    def _down_mask(self) -> np.ndarray | None:
+        plan = self.plan
+        if not plan.dead and not plan.down:
+            return None
+        mask = np.zeros(self.tree.num_vertices, dtype=bool)
+        if plan.dead:
+            mask[list(plan.dead)] = True
+        if plan.down:
+            mask[list(plan.down)] = True
+        return mask
+
     def _hop_delivered(
         self, vertex: int, parent: int, payload: Payload
     ) -> tuple[bool, int]:
@@ -258,7 +270,7 @@ class FaultyTreeNetwork(TreeNetwork):
         for attempt in range(max(1, arq.attempts_for(vertex, parent))):
             if attempt > 0:
                 self.retransmissions += 1
-            self.ledger.charge_send(
+            self._charges.charge_send(
                 vertex, cost, values=payload.num_values(), link_distance=distance
             )
             bits += cost.total_bits
@@ -267,7 +279,7 @@ class FaultyTreeNetwork(TreeNetwork):
             else:
                 # The parent listens on its TDMA schedule whether or not the
                 # frame survives the channel.
-                self.ledger.charge_recv(parent, cost)
+                self._charges.charge_recv(parent, cost)
                 frame_ok = not self.plan.transmission_lost(vertex, parent)
                 if self._feeds_uplink_stats:
                     # Channel truth for the uplink (a down parent is not a
@@ -281,8 +293,8 @@ class FaultyTreeNetwork(TreeNetwork):
                 break
             if frame_ok:
                 # Parent acknowledges; the ACK rides the same lossy channel.
-                self.ledger.charge_send(parent, ack, link_distance=distance)
-                self.ledger.charge_recv(vertex, ack)
+                self._charges.charge_send(parent, ack, link_distance=distance)
+                self._charges.charge_recv(vertex, ack)
                 self.acks_sent += 1
                 bits += ack.total_bits
                 ack_ok = not self.plan.transmission_lost(parent, vertex)
@@ -294,7 +306,7 @@ class FaultyTreeNetwork(TreeNetwork):
                 self.lost_acks += 1
             else:
                 # The child listens through the ACK window in vain.
-                self.ledger.charge_recv(vertex, ack)
+                self._charges.charge_recv(vertex, ack)
             # From the sender's viewpoint only an ACK confirms the attempt.
             arq.observe(vertex, parent, False)
         return delivered, bits

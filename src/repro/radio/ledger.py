@@ -125,6 +125,38 @@ class EnergyLedger:
         self.messages_received[receiver] += cost.messages
         self.bits_received[receiver] += cost.total_bits
 
+    def charge_batch(
+        self,
+        energy_vertices: np.ndarray,
+        energy_joules: np.ndarray,
+        send_vertices: np.ndarray,
+        send_messages: np.ndarray,
+        send_bits: np.ndarray,
+        send_values: np.ndarray,
+        recv_vertices: np.ndarray,
+        recv_messages: np.ndarray,
+        recv_bits: np.ndarray,
+    ) -> None:
+        """Apply one primitive's worth of charges in a few array ops.
+
+        The vectorized engine core calls this once per convergecast or
+        broadcast instead of one ``charge_send``/``charge_recv`` pair per
+        hop.  ``energy_vertices``/``energy_joules`` are the *ordered*
+        per-charge sequence (sends and receives interleaved exactly as the
+        scalar path would have issued them): ``np.add.at`` accumulates
+        repeated indices in array order, so per-vertex float sums match the
+        scalar call sequence bit for bit.  The integer traffic counters are
+        order-independent and arrive pre-split by direction.
+        """
+        np.add.at(self.energy, energy_vertices, energy_joules)
+        if self._round_open:
+            np.add.at(self._round_energy, energy_vertices, energy_joules)
+        np.add.at(self.messages_sent, send_vertices, send_messages)
+        np.add.at(self.bits_sent, send_vertices, send_bits)
+        np.add.at(self.values_sent, send_vertices, send_values)
+        np.add.at(self.messages_received, recv_vertices, recv_messages)
+        np.add.at(self.bits_received, recv_vertices, recv_bits)
+
     # -- metrics -------------------------------------------------------------
 
     def sensor_mask(self) -> np.ndarray:

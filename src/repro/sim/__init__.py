@@ -1,6 +1,6 @@
 """Round-based WSN simulation engine."""
 
-from repro.sim.engine import Payload, TreeNetwork
+from repro.sim.engine import Payload, TreeNetwork, UniformPayload
 from repro.sim.oracle import exact_quantile, quantile_rank
 from repro.sim.runner import RoundRecord, RunResult, SimulationRunner
 
@@ -10,6 +10,7 @@ __all__ = [
     "RunResult",
     "SimulationRunner",
     "TreeNetwork",
+    "UniformPayload",
     "exact_quantile",
     "quantile_rank",
 ]

@@ -18,20 +18,46 @@ Two primitives cover everything the paper's algorithms do:
 Energy and traffic are charged to the :class:`~repro.radio.EnergyLedger`
 exactly as described in Section 5.1.4: the sender pays
 ``s * (alpha + beta * rho^p)``, every scheduled receiver pays ``s * alpha_r``.
+
+Two interchangeable cores run the primitives (``core=`` or the
+``REPRO_SIM_CORE`` environment variable):
+
+* ``"vector"`` (the default) — the struct-of-arrays core built on
+  :mod:`repro.sim.vectorized`: one convergecast or broadcast is a handful
+  of segmented array operations over per-vertex arrays, and the energy
+  ledger is charged in one ordered batch.  Payload *merging* stays
+  per-object (it is algorithm-defined) unless the payload class opts into
+  the :class:`UniformPayload` contract, in which case even the merge folds
+  level by level as array sums.
+* ``"object"`` — the original per-vertex reference implementation, kept
+  verbatim as the differential baseline: both cores must produce
+  bit-for-bit identical ledgers, logs and answers on every input
+  (``tests/test_vectorized.py`` pins this across the loss, churn and
+  rotation axes).
 """
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Mapping, Optional, TypeVar
+from typing import ClassVar, Mapping, Optional, Sequence, TypeVar
 
-from repro.errors import ProtocolError
+import numpy as np
+
+from repro.constants import HEADER_BITS, MAX_PAYLOAD_BITS
+from repro.errors import ConfigurationError, ProtocolError
 from repro.network.tree import RoutingTree
 from repro.radio.ledger import EnergyLedger
 from repro.radio.message import message_bits
+from repro.sim.vectorized import ChargeLog, TreeArrays, send_cost_per_bit_array
 
 P = TypeVar("P", bound="Payload")
+
+#: Environment variable selecting the default simulation core.
+CORE_ENV = "REPRO_SIM_CORE"
+
+_CORES = ("vector", "object")
 
 
 @dataclass(frozen=True)
@@ -81,6 +107,53 @@ class Payload(ABC):
         return False
 
 
+class UniformPayload(Payload):
+    """Opt-in contract for the fully segmented convergecast path.
+
+    A payload class may subclass this to promise, on top of the base
+    :class:`Payload` contract:
+
+    * ``payload_bits()`` equals :attr:`uniform_bits` for leaves **and** for
+      any ``merged_with`` result — message sizing never needs the objects;
+    * ``merged_with`` is *exactly* order-independent (commutative and
+      associative with no rounding: integer or set semantics, not floats);
+    * ``num_values`` of a merge equals the sum over its operands;
+    * :meth:`vector_reduce` equals folding ``merged_with`` over the same
+      payloads in any order.
+
+    When every contribution of a convergecast is one such class (and no
+    fault hooks are active), the vectorized core never merges objects:
+    subtree occupancy and value counts fold bottom-up one topological level
+    at a time with ``np.add.at``, and only the root answer is materialized
+    via :meth:`vector_reduce`.  Classes that cannot honour all four
+    promises must stay plain :class:`Payload` subclasses — they still run
+    on the vectorized core, just through the per-object path.
+    """
+
+    #: Serialized size [bits] of a leaf payload and of any merge result.
+    uniform_bits: ClassVar[int] = 0
+
+    #: Optional extra promise: every *contributed* (leaf) instance reports
+    #: ``num_values() == uniform_leaf_values`` (merge results may differ).
+    #: When set — and the class keeps the default ``is_empty`` — the engine
+    #: never touches the payload objects during intake either: contributor
+    #: ids come straight off the mapping keys and the values statistic is
+    #: priced from this constant.  The paper's canonical workload (every
+    #: sensor contributes one reading per round) is ``uniform_leaf_values
+    #: = 1``.
+    uniform_leaf_values: ClassVar[int | None] = None
+
+    def payload_bits(self) -> int:
+        return type(self).uniform_bits
+
+    @classmethod
+    @abstractmethod
+    def vector_reduce(
+        cls, payloads: "Sequence[UniformPayload]"
+    ) -> "UniformPayload":
+        """Merge ``payloads`` (at least one) into the root's answer."""
+
+
 class TreeNetwork:
     """Binds a routing tree to an energy ledger and runs the primitives.
 
@@ -90,6 +163,15 @@ class TreeNetwork:
     any sensor node but their link to the hosting vertex is device-internal:
     no radio energy or message accounting is charged on it.  Virtual
     vertices must be leaves.
+
+    ``core`` selects the simulation core (``"vector"``/``"object"``, see
+    the module docstring); ``None`` reads :data:`CORE_ENV` and falls back
+    to ``"vector"``.  The object-view contract for subclasses: overriding
+    :meth:`_vertex_down` or :meth:`_hop_delivered` automatically routes
+    convergecasts through the per-hop path (the hooks stay authoritative),
+    and a subclass overriding :meth:`_vertex_down` must override
+    :meth:`_down_mask` to match or its broadcasts fall back to the object
+    path as well.
     """
 
     def __init__(
@@ -97,6 +179,7 @@ class TreeNetwork:
         tree: RoutingTree,
         ledger: EnergyLedger,
         virtual_vertices: frozenset[int] | set[int] = frozenset(),
+        core: str | None = None,
     ) -> None:
         if tree.num_vertices != ledger.num_vertices:
             raise ProtocolError(
@@ -115,9 +198,16 @@ class TreeNetwork:
                 raise ProtocolError(
                     f"virtual vertex {vertex} must be a leaf of the tree"
                 )
+        if core is None:
+            core = os.environ.get(CORE_ENV, "vector")
+        if core not in _CORES:
+            raise ConfigurationError(
+                f"unknown simulation core {core!r}; pick one of {_CORES}"
+            )
         self.tree = tree
         self.ledger = ledger
         self.virtual_vertices = virtual
+        self.core = core
         #: Completed tree traversals (convergecasts + broadcasts).  Each
         #: traversal costs one tree depth of TDMA slots, so the runner
         #: derives per-round latency from the delta of this counter — the
@@ -137,10 +227,58 @@ class TreeNetwork:
         #: skips the bookkeeping; fault-injecting subclasses enable it.
         self._track_sources = False
 
+        cls = type(self)
+        hooks_overridden = (
+            cls._vertex_down is not TreeNetwork._vertex_down
+            or cls._hop_delivered is not TreeNetwork._hop_delivered
+        )
+        down_mask_consistent = (
+            cls._vertex_down is TreeNetwork._vertex_down
+            or cls._down_mask is not TreeNetwork._down_mask
+        )
+        vector = core == "vector"
+        #: Segmented convergecast is only sound while the reliable base
+        #: hooks are authoritative; fault-injecting subclasses keep the
+        #: per-hop loop (their charges still flush as one batch).
+        self._vector_convergecast = vector and not hooks_overridden
+        self._vector_broadcast = vector and down_mask_consistent
+        #: Charge sink for the per-hop paths: the ledger itself on the
+        #: object core, an ordered :class:`ChargeLog` on the vector core.
+        self._charges: EnergyLedger | ChargeLog = (
+            ChargeLog(ledger) if vector else ledger
+        )
+        self._arrays: TreeArrays | None = None
+        self._order_no_root: tuple[int, ...] = ()
+        self._send_cpb: float = 0.0
+        self._send_cpb_array: np.ndarray | None = None
+        self._virtual_mask: np.ndarray | None = None
+        if vector:
+            if virtual:
+                mask = np.zeros(tree.num_vertices, dtype=bool)
+                mask[list(virtual)] = True
+                self._virtual_mask = mask
+            self._refresh_cached_arrays()
+
     @property
     def num_sensor_nodes(self) -> int:
         """Number of measuring nodes ``|N|``."""
         return self.tree.num_sensor_nodes
+
+    def _refresh_cached_arrays(self) -> None:
+        """Rebuild the struct-of-arrays tree view after a tree swap."""
+        if self.core != "vector":
+            return
+        tree = self.tree
+        self._arrays = TreeArrays(tree)
+        self._order_no_root = tree.bottom_up_order[:-1]
+        model = self.ledger.model
+        if model.per_link_distance:
+            self._send_cpb_array = send_cost_per_bit_array(
+                model, self.ledger.radio_range, tree.link_distance
+            )
+        else:
+            self._send_cpb_array = None
+            self._send_cpb = model.send_cost_per_bit(self.ledger.radio_range)
 
     def retarget(self, tree: RoutingTree) -> None:
         """Swap in a repaired routing tree over the same vertex set.
@@ -161,6 +299,7 @@ class TreeNetwork:
         if tree.relays != self.tree.relays:
             raise ProtocolError("retarget changed the relay set")
         self.tree = tree
+        self._refresh_cached_arrays()
 
     # -- fault-injection hooks ------------------------------------------------
     #
@@ -174,21 +313,32 @@ class TreeNetwork:
         """True when ``vertex`` is permanently dead (churn).  Never the root."""
         return False
 
+    def _down_mask(self) -> np.ndarray | None:
+        """Per-vertex boolean view of :meth:`_vertex_down` (``None`` = all up).
+
+        The vectorized broadcast consumes the mask instead of n scalar
+        hook calls.  A subclass overriding :meth:`_vertex_down` must keep
+        this consistent — if it does not override the mask, the constructor
+        detects the mismatch and broadcasts take the object path.
+        """
+        return None
+
     def _hop_delivered(self, vertex: int, parent: int, payload: "Payload") -> tuple[bool, int]:
         """Transmit one merged payload over the ``vertex -> parent`` link.
 
-        Charges all radio activity for the hop to the ledger and returns
+        Charges all radio activity for the hop to the charge sink (the
+        ledger, or the vector core's ordered batch) and returns
         ``(delivered, bits_on_air)``.  The reliable base implementation is
         one send + one receive and always delivers.
         """
         cost = message_bits(payload.payload_bits())
-        self.ledger.charge_send(
+        self._charges.charge_send(
             vertex,
             cost,
             values=payload.num_values(),
             link_distance=self.tree.link_distance[vertex],
         )
-        self.ledger.charge_recv(parent, cost)
+        self._charges.charge_recv(parent, cost)
         return True, cost.total_bits
 
     def convergecast(
@@ -207,6 +357,8 @@ class TreeNetwork:
             The payload as seen by the root, or ``None`` if nobody sent
             anything.
         """
+        if self._vector_convergecast and not self._track_sources:
+            return self._convergecast_vector(contributions)
         tree = self.tree
         self.exchanges += 1
         accumulated: dict[int, P] = {}
@@ -247,6 +399,9 @@ class TreeNetwork:
             )
             if self._track_sources:
                 sources.setdefault(parent, set()).update(sources.get(vertex, ()))
+        charges = self._charges
+        if charges is not self.ledger:
+            charges.flush()
         self.phase_bits[self.phase] = (
             self.phase_bits.get(self.phase, 0) + phase_total
         )
@@ -259,6 +414,247 @@ class TreeNetwork:
             CollectionRecord(expected=expected, delivered=delivered_sources)
         )
         return accumulated.get(tree.root)
+
+    # -- vectorized convergecast ---------------------------------------------
+
+    def _convergecast_vector(self, contributions: Mapping[int, P]) -> Optional[P]:
+        """Reliable-network convergecast on the struct-of-arrays core."""
+        self.exchanges += 1
+        count = len(contributions)
+        if count:
+            first = next(iter(contributions.values()))
+            cls_p = type(first)
+            if (
+                isinstance(first, UniformPayload)
+                and cls_p.uniform_leaf_values is not None
+                and cls_p.is_empty is Payload.is_empty
+            ):
+                # Constant-time-per-payload intake: nothing can be empty,
+                # the values statistic is a class constant, so contributor
+                # ids come straight off the mapping at C speed.
+                payloads = list(contributions.values())
+                if set(map(type, payloads)) == {cls_p}:
+                    contributor_idx = np.fromiter(
+                        contributions.keys(), dtype=np.int64, count=count
+                    )
+                    return self._convergecast_vector_uniform(
+                        cls_p,
+                        contributor_idx,
+                        frozenset(contributions),
+                        payloads,
+                        cls_p.uniform_leaf_values,
+                    )
+        contributors: list[int] = []
+        payloads = []
+        for vertex, payload in contributions.items():
+            if payload.is_empty():
+                continue
+            contributors.append(vertex)
+            payloads.append(payload)
+        if not payloads:
+            self.phase_bits[self.phase] = self.phase_bits.get(self.phase, 0)
+            self.collection_log.append(
+                CollectionRecord(expected=0, delivered=frozenset())
+            )
+            return None
+        first = payloads[0]
+        if isinstance(first, UniformPayload):
+            cls_p = type(first)
+            if all(type(p) is cls_p for p in payloads):
+                leaf = cls_p.uniform_leaf_values
+                counts = (
+                    leaf
+                    if leaf is not None
+                    else np.fromiter(
+                        (p.num_values() for p in payloads),
+                        dtype=np.int64,
+                        count=len(payloads),
+                    )
+                )
+                return self._convergecast_vector_uniform(
+                    cls_p,
+                    np.array(contributors, dtype=np.int64),
+                    frozenset(contributors),
+                    payloads,
+                    counts,
+                )
+        return self._convergecast_vector_objects(contributors, payloads)
+
+    def _convergecast_vector_objects(
+        self, contributors: list[int], payloads: list[P]
+    ) -> Optional[P]:
+        """Per-object merge with batched accounting (any Payload class)."""
+        tree = self.tree
+        accumulated: list[Optional[P]] = [None] * tree.num_vertices
+        for vertex, payload in zip(contributors, payloads):
+            accumulated[vertex] = payload
+        parent = tree.parent
+        virtual = self.virtual_vertices
+        send_vertices: list[int] = []
+        send_payload_bits: list[int] = []
+        send_values: list[int] = []
+        append_vertex = send_vertices.append
+        append_bits = send_payload_bits.append
+        append_values = send_values.append
+        if virtual:
+            for vertex in self._order_no_root:
+                merged = accumulated[vertex]
+                if merged is None:
+                    continue
+                par = parent[vertex]
+                if vertex not in virtual:
+                    append_vertex(vertex)
+                    append_bits(merged.payload_bits())
+                    append_values(merged.num_values())
+                existing = accumulated[par]
+                accumulated[par] = (
+                    merged if existing is None else existing.merged_with(merged)
+                )
+        else:
+            for vertex in self._order_no_root:
+                merged = accumulated[vertex]
+                if merged is None:
+                    continue
+                par = parent[vertex]
+                append_vertex(vertex)
+                append_bits(merged.payload_bits())
+                append_values(merged.num_values())
+                existing = accumulated[par]
+                accumulated[par] = (
+                    merged if existing is None else existing.merged_with(merged)
+                )
+        phase_total = self._charge_convergecast_sends(
+            send_vertices, send_payload_bits, send_values
+        )
+        self.phase_bits[self.phase] = (
+            self.phase_bits.get(self.phase, 0) + phase_total
+        )
+        self.collection_log.append(
+            CollectionRecord(
+                expected=len(contributors), delivered=frozenset(contributors)
+            )
+        )
+        return accumulated[tree.root]
+
+    def _convergecast_vector_uniform(
+        self,
+        cls_p: type,
+        contributor_idx: np.ndarray,
+        delivered: frozenset[int],
+        payloads: list[P],
+        leaf_counts: "int | np.ndarray",
+    ) -> Optional[P]:
+        """Segmented convergecast: no per-hop objects at all.
+
+        Valid under the :class:`UniformPayload` contract — subtree
+        occupancy decides who transmits, subtree value sums price the
+        ``values_sent`` statistic, and the payload size is a class
+        constant, so the whole traversal folds one topological level at a
+        time.  ``leaf_counts`` is each contributor's ``num_values()`` — a
+        single int when the class pins ``uniform_leaf_values``.
+        """
+        arrays = self._arrays
+        assert arrays is not None
+        n = arrays.num_vertices
+        occupancy = np.zeros(n, dtype=np.int64)
+        occupancy[contributor_idx] = 1
+        values = np.zeros(n, dtype=np.int64)
+        values[contributor_idx] = leaf_counts
+        parent = arrays.parent
+        for level in reversed(arrays.levels[1:]):  # deepest level first
+            parents_of_level = parent[level]
+            np.add.at(occupancy, parents_of_level, occupancy[level])
+            np.add.at(values, parents_of_level, values[level])
+        order = arrays.bottom_up_no_root
+        transmit = occupancy[order] > 0
+        if self._virtual_mask is not None:
+            transmit &= ~self._virtual_mask[order]
+        senders = order[transmit]
+        phase_total = 0
+        if len(senders):
+            cost = message_bits(cls_p.uniform_bits)
+            receivers = parent[senders]
+            m = len(senders)
+            if self._send_cpb_array is not None:
+                send_joules = cost.total_bits * self._send_cpb_array[senders]
+            else:
+                send_joules = np.full(m, cost.total_bits * self._send_cpb)
+            recv_joule = cost.total_bits * self.ledger.model.recv_cost
+            energy_vertices = np.empty(2 * m, dtype=np.int64)
+            energy_vertices[0::2] = senders
+            energy_vertices[1::2] = receivers
+            energy_joules = np.empty(2 * m, dtype=np.float64)
+            energy_joules[0::2] = send_joules
+            energy_joules[1::2] = recv_joule
+            uniform_frames = np.full(m, cost.messages, dtype=np.int64)
+            uniform_bits = np.full(m, cost.total_bits, dtype=np.int64)
+            self.ledger.charge_batch(
+                energy_vertices=energy_vertices,
+                energy_joules=energy_joules,
+                send_vertices=senders,
+                send_messages=uniform_frames,
+                send_bits=uniform_bits,
+                send_values=values[senders],
+                recv_vertices=receivers,
+                recv_messages=uniform_frames,
+                recv_bits=uniform_bits,
+            )
+            phase_total = cost.total_bits * m
+        self.phase_bits[self.phase] = (
+            self.phase_bits.get(self.phase, 0) + phase_total
+        )
+        self.collection_log.append(
+            CollectionRecord(expected=len(payloads), delivered=delivered)
+        )
+        return cls_p.vector_reduce(payloads)
+
+    def _charge_convergecast_sends(
+        self,
+        send_vertices: list[int],
+        send_payload_bits: list[int],
+        send_values: list[int],
+    ) -> int:
+        """Batch-charge one convergecast's hops; returns total on-air bits.
+
+        The hop sequence arrives in bottom-up order, so interleaving each
+        send with its matching receive reproduces the scalar core's exact
+        per-vertex float-addition order.
+        """
+        if not send_vertices:
+            return 0
+        arrays = self._arrays
+        assert arrays is not None
+        senders = np.array(send_vertices, dtype=np.int64)
+        payload_bits = np.array(send_payload_bits, dtype=np.int64)
+        frames = np.where(
+            payload_bits > 0, -(-payload_bits // MAX_PAYLOAD_BITS), 1
+        )
+        total_bits = frames * HEADER_BITS + payload_bits
+        receivers = arrays.parent[senders]
+        if self._send_cpb_array is not None:
+            send_joules = total_bits * self._send_cpb_array[senders]
+        else:
+            send_joules = total_bits * self._send_cpb
+        recv_joules = total_bits * self.ledger.model.recv_cost
+        m = len(senders)
+        energy_vertices = np.empty(2 * m, dtype=np.int64)
+        energy_vertices[0::2] = senders
+        energy_vertices[1::2] = receivers
+        energy_joules = np.empty(2 * m, dtype=np.float64)
+        energy_joules[0::2] = send_joules
+        energy_joules[1::2] = recv_joules
+        self.ledger.charge_batch(
+            energy_vertices=energy_vertices,
+            energy_joules=energy_joules,
+            send_vertices=senders,
+            send_messages=frames,
+            send_bits=total_bits,
+            send_values=np.array(send_values, dtype=np.int64),
+            recv_vertices=receivers,
+            recv_messages=frames,
+            recv_bits=total_bits,
+        )
+        return int(total_bits.sum())
 
     def broadcast(self, payload_bits: int) -> int:
         """Flood ``payload_bits`` of payload from the root to every node.
@@ -273,6 +669,8 @@ class TreeNetwork:
         """
         if payload_bits < 0:
             raise ProtocolError(f"payload_bits must be >= 0, got {payload_bits}")
+        if self._vector_broadcast:
+            return self._broadcast_vector(payload_bits)
         tree = self.tree
         self.exchanges += 1
         cost = message_bits(payload_bits)
@@ -298,5 +696,74 @@ class TreeNetwork:
                     self.ledger.charge_recv(child, cost)
         self.phase_bits[self.phase] = (
             self.phase_bits.get(self.phase, 0) + phase_total
+        )
+        return reached_count
+
+    def _broadcast_vector(self, payload_bits: int) -> int:
+        """Flood on the struct-of-arrays core: level sweeps + one batch."""
+        arrays = self._arrays
+        assert arrays is not None
+        tree = self.tree
+        self.exchanges += 1
+        cost = message_bits(payload_bits)
+        n = arrays.num_vertices
+        root = tree.root
+        down = self._down_mask()
+        if down is None:
+            senders_mask = arrays.has_children
+            receivers_mask = np.ones(n, dtype=bool)
+            receivers_mask[root] = False
+            reached_count = n - 1
+        else:
+            parent = arrays.parent
+            reached = np.zeros(n, dtype=bool)
+            reached[root] = True
+            live_sender = ~down
+            live_sender[root] = True
+            for level in arrays.levels[1:]:
+                parents_of_level = parent[level]
+                reached[level] = (
+                    reached[parents_of_level]
+                    & live_sender[parents_of_level]
+                    & live_sender[level]
+                )
+            senders_mask = reached & arrays.has_children & live_sender
+            reached_count = int(reached.sum()) - 1
+            receivers_mask = reached.copy()
+            receivers_mask[root] = False
+        if self._virtual_mask is not None:
+            receivers_mask = receivers_mask & ~self._virtual_mask
+        senders = np.nonzero(senders_mask)[0]
+        receivers = np.nonzero(receivers_mask)[0]
+        recv_joule = cost.total_bits * self.ledger.model.recv_cost
+        if self._send_cpb_array is not None:
+            send_joules = cost.total_bits * self._send_cpb_array[senders]
+        else:
+            send_joules = np.full(
+                len(senders), cost.total_bits * self._send_cpb
+            )
+        # A vertex receives from its parent before it retransmits, so the
+        # receive batch is applied first to preserve the scalar core's
+        # per-vertex float-addition order.
+        energy_vertices = np.concatenate([receivers, senders])
+        energy_joules = np.concatenate(
+            [np.full(len(receivers), recv_joule), send_joules]
+        )
+        self.ledger.charge_batch(
+            energy_vertices=energy_vertices,
+            energy_joules=energy_joules,
+            send_vertices=senders,
+            send_messages=np.full(len(senders), cost.messages, dtype=np.int64),
+            send_bits=np.full(len(senders), cost.total_bits, dtype=np.int64),
+            send_values=np.zeros(len(senders), dtype=np.int64),
+            recv_vertices=receivers,
+            recv_messages=np.full(
+                len(receivers), cost.messages, dtype=np.int64
+            ),
+            recv_bits=np.full(len(receivers), cost.total_bits, dtype=np.int64),
+        )
+        self.phase_bits[self.phase] = (
+            self.phase_bits.get(self.phase, 0)
+            + cost.total_bits * len(senders)
         )
         return reached_count

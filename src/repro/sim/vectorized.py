@@ -1,0 +1,219 @@
+"""Struct-of-arrays building blocks for the vectorized simulation core.
+
+The object engine (:mod:`repro.sim.engine`) walks one Python object per
+vertex and charges the energy ledger one scalar numpy update at a time —
+fine at 30 nodes, ruinous at 30k.  This module holds the three pieces that
+turn a round into a handful of segmented array operations:
+
+* :class:`TreeArrays` — a per-vertex array view of a
+  :class:`~repro.network.tree.RoutingTree` (parent, depth, topological
+  levels, bottom-up order, children mask, link lengths).  Built once per
+  tree and reused every round; :meth:`TreeNetwork.retarget` rebuilds it.
+
+* :class:`ChargeLog` — an ordered recorder with the
+  ``charge_send``/``charge_recv`` signature of
+  :class:`~repro.radio.ledger.EnergyLedger`.  Joules are computed at log
+  time with exactly the scalar ledger's float arithmetic; ``flush()``
+  replays the whole sequence through one
+  :meth:`~repro.radio.ledger.EnergyLedger.charge_batch` call.  Because
+  ``np.add.at`` accumulates repeated indices in array order, the per-vertex
+  addition sequence — and therefore every float in the ledger — matches the
+  scalar call sequence bit for bit.
+
+The opt-in contract for the fully segmented convergecast path —
+:class:`~repro.sim.engine.UniformPayload` — lives next to the base
+:class:`~repro.sim.engine.Payload` contract in the engine module, so this
+module stays free of engine imports.  Payload state under that contract
+never travels as objects at all; subtree occupancy and value counts are
+per-vertex arrays folded one topological level at a time.
+
+The engine keeps its object API on top of these (see ``DESIGN.md``,
+"Vectorized simulation core"); algorithms never see this module.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.tree import RoutingTree
+    from repro.radio.ledger import EnergyLedger
+    from repro.radio.message import MessageCost
+
+
+class TreeArrays:
+    """Per-vertex array view of a routing tree, cached across rounds.
+
+    Attributes:
+        num_vertices: total vertex count, root included.
+        root: the sink vertex.
+        parent: ``int64`` parent index per vertex (root maps to itself so
+            fancy indexing never walks out of bounds; the root never sends).
+        depth: hop distance from the root per vertex.
+        link_distance: ``float64`` uplink length per vertex.
+        levels: index arrays grouping vertices by depth, ``levels[0]`` being
+            ``[root]``.  Broadcasts sweep them top-down, the segmented
+            convergecast sweeps them bottom-up.
+        bottom_up_no_root: the tree's bottom-up traversal order minus the
+            root — the canonical hop order of a convergecast.
+        has_children: boolean mask of internal vertices (broadcast senders).
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "root",
+        "parent",
+        "depth",
+        "link_distance",
+        "levels",
+        "bottom_up_no_root",
+        "has_children",
+    )
+
+    def __init__(self, tree: "RoutingTree") -> None:
+        n = tree.num_vertices
+        self.num_vertices = n
+        self.root = tree.root
+        parent = np.array(tree.parent, dtype=np.int64)
+        parent[tree.root] = tree.root
+        self.parent = parent
+        self.depth = np.array(tree.depth, dtype=np.int64)
+        self.link_distance = np.array(tree.link_distance, dtype=np.float64)
+        order = np.argsort(self.depth, kind="stable")
+        boundaries = np.searchsorted(
+            self.depth[order], np.arange(int(self.depth.max()) + 2)
+        )
+        self.levels = [
+            order[boundaries[d] : boundaries[d + 1]]
+            for d in range(len(boundaries) - 1)
+        ]
+        # bottom_up_order ends on the root (it is the reverse of a
+        # root-first traversal), so dropping the last entry drops the root.
+        self.bottom_up_no_root = np.array(
+            tree.bottom_up_order[:-1], dtype=np.int64
+        )
+        self.has_children = np.array(
+            [len(kids) > 0 for kids in tree.children], dtype=bool
+        )
+
+
+def send_cost_per_bit_array(
+    model, radio_range: float, link_distance: Sequence[float]
+) -> np.ndarray:
+    """Per-vertex transmit cost [J/bit], scalar-exact.
+
+    Each entry is produced by the same
+    :meth:`~repro.radio.energy.EnergyModel.send_cost_per_bit` float
+    arithmetic the scalar ledger path runs, so batched ``bits * cost``
+    products equal the scalar ones bit for bit (a vectorized ``dist ** p``
+    could round differently on some platforms).
+    """
+    return np.array(
+        [model.send_cost_per_bit(radio_range, d) for d in link_distance],
+        dtype=np.float64,
+    )
+
+
+class ChargeLog:
+    """Ordered radio-charge recorder, flushed as one ledger batch.
+
+    Presents the ledger's ``charge_send``/``charge_recv`` signature so the
+    fault hooks write through it unchanged; the per-charge joules are
+    computed immediately with the scalar ledger's own arithmetic, only the
+    array updates are deferred.  ``flush()`` must run before anything reads
+    the ledger — the engine flushes at the end of every primitive.
+    """
+
+    __slots__ = (
+        "_ledger",
+        "_model",
+        "_radio_range",
+        "_cpb_by_distance",
+        "_recv_cpb",
+        "_vertices",
+        "_joules",
+        "_is_send",
+        "_messages",
+        "_bits",
+        "_values",
+    )
+
+    def __init__(self, ledger: "EnergyLedger") -> None:
+        self._ledger = ledger
+        self._model = ledger.model
+        self._radio_range = ledger.radio_range
+        #: Distance -> J/bit cache; with ``per_link_distance`` off every
+        #: distance maps to the same constant, so this hits immediately.
+        self._cpb_by_distance: dict[float, float] = {}
+        self._recv_cpb = ledger.model.recv_cost
+        self._vertices: list[int] = []
+        self._joules: list[float] = []
+        self._is_send: list[bool] = []
+        self._messages: list[int] = []
+        self._bits: list[int] = []
+        self._values: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def charge_send(
+        self,
+        sender: int,
+        cost: "MessageCost",
+        values: int = 0,
+        link_distance: float = 0.0,
+    ) -> None:
+        """Record one transmission (same contract as the ledger's)."""
+        cpb = self._cpb_by_distance.get(link_distance)
+        if cpb is None:
+            cpb = self._model.send_cost_per_bit(
+                self._radio_range, link_distance
+            )
+            self._cpb_by_distance[link_distance] = cpb
+        self._vertices.append(sender)
+        self._joules.append(cost.total_bits * cpb)
+        self._is_send.append(True)
+        self._messages.append(cost.messages)
+        self._bits.append(cost.total_bits)
+        self._values.append(values)
+
+    def charge_recv(self, receiver: int, cost: "MessageCost") -> None:
+        """Record one reception (same contract as the ledger's)."""
+        self._vertices.append(receiver)
+        self._joules.append(cost.total_bits * self._recv_cpb)
+        self._is_send.append(False)
+        self._messages.append(cost.messages)
+        self._bits.append(cost.total_bits)
+        self._values.append(0)
+
+    def flush(self) -> None:
+        """Apply every recorded charge to the ledger in recorded order."""
+        if not self._vertices:
+            return
+        vertices = np.array(self._vertices, dtype=np.int64)
+        joules = np.array(self._joules, dtype=np.float64)
+        is_send = np.array(self._is_send, dtype=bool)
+        messages = np.array(self._messages, dtype=np.int64)
+        bits = np.array(self._bits, dtype=np.int64)
+        values = np.array(self._values, dtype=np.int64)
+        send = is_send
+        recv = ~is_send
+        self._ledger.charge_batch(
+            energy_vertices=vertices,
+            energy_joules=joules,
+            send_vertices=vertices[send],
+            send_messages=messages[send],
+            send_bits=bits[send],
+            send_values=values[send],
+            recv_vertices=vertices[recv],
+            recv_messages=messages[recv],
+            recv_bits=bits[recv],
+        )
+        self._vertices.clear()
+        self._joules.clear()
+        self._is_send.clear()
+        self._messages.clear()
+        self._bits.clear()
+        self._values.clear()
