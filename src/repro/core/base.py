@@ -16,6 +16,7 @@ the shared TAG initialization and the abstract driver interface.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -167,21 +168,34 @@ def build_validation(
     Non-sensor vertices are pinned to ``EQ`` by :func:`classify_array`, so
     scanning the changed entries alone suffices.
     """
-    contributions: dict[int, ValidationPayload] = {}
-    for vertex in np.flatnonzero(old_state != new_state):
-        vertex = int(vertex)
-        old, new = int(old_state[vertex]), int(new_state[vertex])
-        value = int(values[vertex])
-        contributions[vertex] = ValidationPayload(
-            into_lt=1 if new == LT else 0,
-            outof_lt=1 if old == LT else 0,
-            into_gt=1 if new == GT else 0,
-            outof_gt=1 if old == GT else 0,
+    changed = np.flatnonzero(old_state != new_state)
+    if changed.size == 0:
+        return {}
+    # The transition flags are plain array comparisons; only the payload
+    # construction itself stays per-vertex (tolist() hands the zip loop
+    # native Python ints, so no per-element numpy indexing remains).
+    olds = old_state[changed]
+    news = new_state[changed]
+    into_lt = (news == LT).astype(np.int64).tolist()
+    outof_lt = (olds == LT).astype(np.int64).tolist()
+    into_gt = (news == GT).astype(np.int64).tolist()
+    outof_gt = (olds == GT).astype(np.int64).tolist()
+    # astype truncates toward zero exactly like the old int(values[v]).
+    hint = values[changed].astype(np.int64).tolist()
+    return {
+        vertex: ValidationPayload(
+            into_lt=i_lt,
+            outof_lt=o_lt,
+            into_gt=i_gt,
+            outof_gt=o_gt,
             hint_min=value,
             hint_max=value,
             hint_values=hint_values,
         )
-    return contributions
+        for vertex, i_lt, o_lt, i_gt, o_gt, value in zip(
+            changed.tolist(), into_lt, outof_lt, into_gt, outof_gt, hint
+        )
+    }
 
 
 def hint_bounds(
@@ -385,7 +399,9 @@ def tag_initialization(
         raise ProtocolError("TAG initialization did not deliver k values")
     smallest = merged.values
     quantile = smallest[k - 1]
-    less = sum(1 for value in smallest if value < quantile)
-    equal = sum(1 for value in smallest if value == quantile)
+    # ValueSetPayload merges keep the tuple ascending, so the rank splits
+    # fall out of two binary searches instead of two linear scans.
+    less = bisect_left(smallest, quantile)
+    equal = bisect_right(smallest, quantile) - less
     counters = RootCounters(l=less, e=equal, g=population - less - equal)
     return quantile, counters, smallest

@@ -352,14 +352,26 @@ class HBC(ContinuousQuantileAlgorithm):
         if self._mask is None:
             self._mask = self.participation_mask(net)
         inside = self._mask & (values >= grid.low) & (values <= grid.high)
-        contributions: dict[int, HistogramPayload] = {}
-        for vertex in np.flatnonzero(inside):
-            vertex = int(vertex)
-            counts = [0] * grid.num_buckets
-            counts[grid.bucket_of(int(values[vertex]))] = 1
-            contributions[vertex] = HistogramPayload(
-                counts=tuple(counts), compressed=self.compressed_histograms
+        participants = np.flatnonzero(inside)
+        # Buckets for all participants in one array call; the per-bucket
+        # one-hot tuples are shared (payloads are immutable), so each
+        # contribution is a dict insert plus one dataclass construction.
+        buckets = grid.bucket_of_array(values[participants])
+        num_buckets = grid.num_buckets
+        compressed = self.compressed_histograms
+        one_hot = [
+            HistogramPayload(
+                counts=tuple(
+                    1 if i == b else 0 for i in range(num_buckets)
+                ),
+                compressed=compressed,
             )
+            for b in range(num_buckets)
+        ]
+        contributions: dict[int, HistogramPayload] = {
+            vertex: one_hot[b]
+            for vertex, b in zip(participants.tolist(), buckets.tolist())
+        }
         merged = net.convergecast(contributions)
         if merged is None:
             return (0,) * grid.num_buckets

@@ -253,6 +253,7 @@ class FaultDriver:
         rotate_every: int = 0,
         rotate_rng: np.random.Generator | None = None,
         heal_patience: int = 1,
+        core: str | None = None,
     ) -> None:
         if rotate_every < 0:
             raise ConfigurationError(
@@ -277,7 +278,11 @@ class FaultDriver:
         self.ledger = EnergyLedger(
             tree.num_vertices, tree.root, EnergyModel(), radio_range
         )
-        self.net = FaultyTreeNetwork(tree, self.ledger, plan=plan, arq=arq)
+        # ``core`` pins the simulation core (differential tests run the
+        # same scenario on both); ``None`` keeps the env-var default.
+        self.net = FaultyTreeNetwork(
+            tree, self.ledger, plan=plan, arq=arq, core=core
+        )
         self.watchdog = RootWatchdog(tree, patience=watchdog_patience)
         self.repair: TreeRepair | None = None
         if repair and graph is not None:

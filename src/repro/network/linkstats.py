@@ -72,6 +72,30 @@ class LinkQualityEstimator:
         )
         self.observations += 1
 
+    def observe_batch(self, senders, receivers, delivered) -> None:
+        """Fold a batch of channel outcomes, sample by sample, in order.
+
+        Accepts any equal-length sequences (lists or numpy arrays).  Each
+        element goes through the exact scalar EWMA recurrence of
+        :meth:`observe`, so per-link estimates, dict insertion order and
+        the :attr:`observations` counter are bit-identical to the
+        equivalent sequence of scalar calls — the EWMA is order-dependent,
+        so no closed-form fold is attempted.  The vectorized faulty
+        convergecast uses this to replay its deferred observations once
+        per phase instead of once per hop.
+        """
+        loss = self._loss
+        prior = self.prior_loss
+        weight = self.smoothing
+        count = 0
+        for sender, receiver, ok in zip(senders, receivers, delivered):
+            key = (sender, receiver)
+            previous = loss.get(key, prior)
+            sample = 0.0 if ok else 1.0
+            loss[key] = (1.0 - weight) * previous + weight * sample
+            count += 1
+        self.observations += count
+
     def loss(self, sender: int, receiver: int) -> float:
         """Current loss estimate for the directed link (prior if unseen)."""
         return self._loss.get((sender, receiver), self.prior_loss)

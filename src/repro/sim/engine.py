@@ -28,7 +28,11 @@ Two interchangeable cores run the primitives (``core=`` or the
   ledger is charged in one ordered batch.  Payload *merging* stays
   per-object (it is algorithm-defined) unless the payload class opts into
   the :class:`UniformPayload` contract, in which case even the merge folds
-  level by level as array sums.
+  level by level as array sums.  Fault injection gets the same treatment:
+  :class:`~repro.faults.network.FaultyTreeNetwork` batches its loss/ARQ
+  convergecast (block-drawn uniforms, deferred link-stats replay, one
+  expanded charge batch) while keeping the per-hop decision sequence —
+  and under the uniform contract drops per-hop payload objects entirely.
 * ``"object"`` — the original per-vertex reference implementation, kept
   verbatim as the differential baseline: both cores must produce
   bit-for-bit identical ledgers, logs and answers on every input
@@ -238,8 +242,10 @@ class TreeNetwork:
         )
         vector = core == "vector"
         #: Segmented convergecast is only sound while the reliable base
-        #: hooks are authoritative; fault-injecting subclasses keep the
-        #: per-hop loop (their charges still flush as one batch).
+        #: hooks are authoritative; fault-injecting subclasses provide
+        #: their own batched walk (FaultyTreeNetwork.convergecast) or
+        #: fall back to the per-hop loop, whose charges still flush as
+        #: one batch.
         self._vector_convergecast = vector and not hooks_overridden
         self._vector_broadcast = vector and down_mask_consistent
         #: Charge sink for the per-hop paths: the ledger itself on the

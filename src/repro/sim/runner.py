@@ -128,6 +128,11 @@ class SimulationRunner:
         k = quantile_rank(net.num_sensor_nodes, algorithm.spec.phi)
         result = RunResult(algorithm=algorithm.name)
 
+        # Static per-run views, hoisted out of the round loop: the sensor
+        # index array and mask depend only on the tree, and rebuilding
+        # them per round costs O(n) each on large deployments.
+        sensor_idx = np.asarray(self.tree.sensor_nodes, dtype=np.intp)
+        sensor_mask = ledger.sensor_mask()
         previous_messages = previous_values_sent = previous_exchanges = 0
         for round_index in range(num_rounds):
             values = np.asarray(values_provider(round_index))
@@ -138,14 +143,13 @@ class SimulationRunner:
                 outcome = algorithm.update(net, values)
             round_energy = ledger.end_round()
 
-            sensor_values = values[list(self.tree.sensor_nodes)]
+            sensor_values = values[sensor_idx]
             truth = exact_quantile(sensor_values, k)
             if self.check and algorithm.exact and outcome.quantile != truth:
                 raise ProtocolError(
                     f"{algorithm.name} round {round_index}: computed "
                     f"{outcome.quantile} but the exact quantile is {truth}"
                 )
-            mask = ledger.sensor_mask()
             total_messages = int(ledger.messages_sent.sum())
             total_values = int(ledger.values_sent.sum())
             result.rounds.append(
@@ -153,7 +157,7 @@ class SimulationRunner:
                     round_index=round_index,
                     outcome=outcome,
                     true_quantile=truth,
-                    max_sensor_energy_j=float(round_energy[mask].max()),
+                    max_sensor_energy_j=float(round_energy[sensor_mask].max()),
                     total_energy_j=float(round_energy.sum()),
                     messages_sent=total_messages - previous_messages,
                     values_sent=total_values - previous_values_sent,

@@ -116,6 +116,115 @@ def send_cost_per_bit_array(
     )
 
 
+def expand_arq_charges(
+    att_child: np.ndarray,
+    att_parent: np.ndarray,
+    att_bits: np.ndarray,
+    att_frames: np.ndarray,
+    att_values: np.ndarray,
+    att_parent_up: np.ndarray,
+    att_frame_ok: np.ndarray,
+    arq_enabled: bool,
+    send_cpb,
+    recv_cpb: float,
+    ack_bits: int,
+) -> dict:
+    """Expand per-attempt ARQ outcomes into one ordered charge batch.
+
+    Input arrays are flat per *data-frame attempt*, ordered by hop then
+    attempt — the exact order the scalar faulty walk issues charges in.
+    Each attempt expands to up to four energy events, in the scalar
+    sequence of ``FaultyTreeNetwork._hop_delivered``:
+
+    1. child data send — always;
+    2. parent data receive — iff the parent is up;
+    3. parent ACK send — iff ARQ is enabled and the frame survived
+       (charged at the *child's* uplink distance, like the scalar path);
+    4. child ACK-window receive — iff ARQ is enabled (a real ACK receive
+       or the vain listen after a lost frame, same cost either way).
+
+    Joules are per-event products of integer bit counts with the same
+    J/bit factors the scalar ledger uses (``send_cpb`` is a per-attempt
+    array or a scalar for distance-independent models), so a ledger fed
+    the returned ``charge_batch`` kwargs accumulates every per-vertex
+    float in scalar order, bit for bit.  The integer traffic counters are
+    order-independent and returned pre-split by direction.
+    """
+    n = att_child.shape[0]
+    if np.ndim(send_cpb) == 0:
+        send_cpb = np.full(n, float(send_cpb))
+    data_send_j = att_bits * send_cpb
+    data_recv_j = att_bits * recv_cpb
+    up = att_parent_up
+    up_i = up.astype(np.int64)
+    if arq_enabled:
+        ok = att_frame_ok
+        ok_i = ok.astype(np.int64)
+        counts = 2 + up_i + ok_i
+    else:
+        counts = 1 + up_i
+    offsets = np.empty(n, dtype=np.int64)
+    if n:
+        offsets[0] = 0
+        np.cumsum(counts[:-1], out=offsets[1:])
+    total = int(counts.sum())
+    energy_vertices = np.empty(total, dtype=np.int64)
+    energy_joules = np.empty(total, dtype=np.float64)
+    energy_vertices[offsets] = att_child
+    energy_joules[offsets] = data_send_j
+    slot = offsets + 1
+    recv_slots = slot[up]
+    energy_vertices[recv_slots] = att_parent[up]
+    energy_joules[recv_slots] = data_recv_j[up]
+    if arq_enabled:
+        ack_send_j = ack_bits * send_cpb
+        slot += up_i
+        ack_send_slots = slot[ok]
+        energy_vertices[ack_send_slots] = att_parent[ok]
+        energy_joules[ack_send_slots] = ack_send_j[ok]
+        slot += ok_i
+        energy_vertices[slot] = att_child
+        energy_joules[slot] = ack_bits * recv_cpb
+        ack_senders = att_parent[ok]
+        k = ack_senders.shape[0]
+        send_vertices = np.concatenate([att_child, ack_senders])
+        send_messages = np.concatenate(
+            [att_frames, np.ones(k, dtype=np.int64)]
+        )
+        send_bits = np.concatenate(
+            [att_bits, np.full(k, ack_bits, dtype=np.int64)]
+        )
+        send_values = np.concatenate(
+            [att_values, np.zeros(k, dtype=np.int64)]
+        )
+        recv_vertices = np.concatenate([att_parent[up], att_child])
+        recv_messages = np.concatenate(
+            [att_frames[up], np.ones(n, dtype=np.int64)]
+        )
+        recv_bits = np.concatenate(
+            [att_bits[up], np.full(n, ack_bits, dtype=np.int64)]
+        )
+    else:
+        send_vertices = att_child
+        send_messages = att_frames
+        send_bits = att_bits
+        send_values = att_values
+        recv_vertices = att_parent[up]
+        recv_messages = att_frames[up]
+        recv_bits = att_bits[up]
+    return {
+        "energy_vertices": energy_vertices,
+        "energy_joules": energy_joules,
+        "send_vertices": send_vertices,
+        "send_messages": send_messages,
+        "send_bits": send_bits,
+        "send_values": send_values,
+        "recv_vertices": recv_vertices,
+        "recv_messages": recv_messages,
+        "recv_bits": recv_bits,
+    }
+
+
 class ChargeLog:
     """Ordered radio-charge recorder, flushed as one ledger batch.
 

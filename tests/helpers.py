@@ -94,6 +94,7 @@ def assert_differential_invariant(
     rotate_seed: int = 0,
     repair_metric: str = "etx",
     heal_patience: int = 1,
+    core: str | None = None,
 ) -> dict[str, list[RoundReport]]:
     """Differential invariant: exact algorithms == oracle on trustworthy rounds.
 
@@ -111,7 +112,10 @@ def assert_differential_invariant(
     by ``rotate_seed`` so every algorithm sees identical rotations);
     ``repair_metric`` selects the orphan-adoption ranking under test;
     ``heal_patience`` lets parked orphans wait that many rounds for a heal
-    before the re-init fallback (the near-total-churn axis exercises it).
+    before the re-init fallback (the near-total-churn axis exercises it);
+    ``core`` pins the simulation core (``"object"``/``"vector"``) so the
+    same invariant can be asserted against either implementation — the
+    cross-core fuzz axis in ``tests/test_vectorized.py`` runs both.
     """
     workload = SequenceWorkload(rounds)
     reports_by_name: dict[str, list[RoundReport]] = {}
@@ -132,6 +136,7 @@ def assert_differential_invariant(
             rotate_every=rotate_every,
             rotate_rng=np.random.default_rng(rotate_seed),
             heal_patience=heal_patience,
+            core=core,
         )
         reports = driver.run(len(rounds))
         algorithm = driver.algorithm

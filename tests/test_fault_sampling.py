@@ -1,0 +1,289 @@
+"""Batched fault sampling is indistinguishable from sequential sampling.
+
+The vectorized faulty convergecast rests on one RNG property: serving
+uniforms from block draws (:class:`~repro.faults.plan.UniformBlockStream`,
+entered via :meth:`~repro.faults.plan.FaultPlan.batched_sampling`) must
+produce the exact value stream of sequential scalar ``rng.random()`` calls
+*and* leave the generator in the exact final state.  These tests pin that
+property directly — per bit generator, per loss model (including the
+Gilbert–Elliott per-link Markov state), across block sizes and session
+boundaries — so the differential suite in ``tests/test_vectorized.py``
+can attribute any divergence to the convergecast logic itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    FaultPlan,
+    GilbertElliottLoss,
+    IndependentLoss,
+    UniformBlockStream,
+)
+
+BIT_GENERATORS = [
+    np.random.PCG64,
+    np.random.MT19937,
+    np.random.Philox,
+    np.random.SFC64,
+]
+
+
+def states_equal(a, b) -> bool:
+    """Recursive bit-generator state comparison.
+
+    MT19937's state dict embeds numpy arrays, so a plain ``==`` on the
+    dicts is ambiguous; compare leaves with ``np.array_equal``.
+    """
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(states_equal(a[k], b[k]) for k in a)
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(a, b)
+    return a == b
+
+
+def make_rng(bit_gen_cls, seed: int = 1234) -> np.random.Generator:
+    return np.random.Generator(bit_gen_cls(seed))
+
+
+class TestUniformBlockStream:
+    @pytest.mark.parametrize("bit_gen_cls", BIT_GENERATORS)
+    @pytest.mark.parametrize("draws,block", [(0, 4), (3, 4), (4, 4), (9, 4), (257, 64)])
+    def test_stream_and_final_state_match_scalar(self, bit_gen_cls, draws, block):
+        scalar_rng = make_rng(bit_gen_cls)
+        expected = [scalar_rng.random() for _ in range(draws)]
+
+        batched_rng = make_rng(bit_gen_cls)
+        stream = UniformBlockStream(batched_rng, block=block)
+        got = [stream.random() for _ in range(draws)]
+        stream.close()
+
+        assert got == expected
+        assert stream.consumed == draws
+        assert states_equal(
+            scalar_rng.bit_generator.state, batched_rng.bit_generator.state
+        )
+
+    @pytest.mark.parametrize("bit_gen_cls", BIT_GENERATORS)
+    def test_post_close_draws_continue_the_scalar_stream(self, bit_gen_cls):
+        scalar_rng = make_rng(bit_gen_cls)
+        batched_rng = make_rng(bit_gen_cls)
+        stream = UniformBlockStream(batched_rng, block=8)
+        for _ in range(13):
+            scalar_rng.random()
+            stream.random()
+        stream.close()
+        # The generator must now be *usable*, not merely state-equal:
+        # later draws of any shape continue the scalar stream.
+        assert np.array_equal(scalar_rng.random(100), batched_rng.random(100))
+
+    def test_only_scalar_random_is_proxied(self):
+        stream = UniformBlockStream(np.random.default_rng(0))
+        with pytest.raises(AttributeError, match="proxies only 'random'"):
+            stream.integers
+        with pytest.raises(AttributeError, match="proxies only 'random'"):
+            stream.normal
+
+    def test_block_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            UniformBlockStream(np.random.default_rng(0), block=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        draws=st.integers(min_value=0, max_value=300),
+        block=st.integers(min_value=1, max_value=97),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_fuzz_draw_counts_and_block_sizes(self, draws, block, seed):
+        scalar_rng = np.random.default_rng(seed)
+        expected = [scalar_rng.random() for _ in range(draws)]
+        batched_rng = np.random.default_rng(seed)
+        stream = UniformBlockStream(batched_rng, block=block)
+        got = [stream.random() for _ in range(draws)]
+        stream.close()
+        assert got == expected
+        assert states_equal(
+            scalar_rng.bit_generator.state, batched_rng.bit_generator.state
+        )
+
+
+def loss_models():
+    return [
+        ("iid", lambda: IndependentLoss(0.3)),
+        ("iid-zero", lambda: IndependentLoss(0.0)),
+        ("iid-high", lambda: IndependentLoss(0.95)),
+        ("ge", lambda: GilbertElliottLoss.from_average(0.2, burst_length=3.0)),
+        (
+            "ge-lossy-good",
+            lambda: GilbertElliottLoss(
+                p_enter_burst=0.15,
+                p_exit_burst=0.4,
+                loss_good=0.05,
+                loss_bad=0.9,
+            ),
+        ),
+    ]
+
+
+LINKS = [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2)]
+
+
+def sample_sequence(plan: FaultPlan, repeats: int = 40) -> list[bool]:
+    outcomes = []
+    for r in range(repeats):
+        for sender, receiver in LINKS:
+            outcomes.append(plan.transmission_lost(sender, receiver))
+            outcomes.append(plan.transmission_lost(receiver, sender))
+    return outcomes
+
+
+class TestBatchedSamplingPerLossModel:
+    @pytest.mark.parametrize("name,factory", loss_models())
+    @pytest.mark.parametrize("block", [1, 3, 64])
+    def test_batched_equals_sequential(self, name, factory, block):
+        scalar_plan = FaultPlan(loss=factory(), rng=np.random.default_rng(9))
+        scalar_out = sample_sequence(scalar_plan)
+
+        batched_plan = FaultPlan(loss=factory(), rng=np.random.default_rng(9))
+        with batched_plan.batched_sampling(block=block):
+            batched_out = sample_sequence(batched_plan)
+
+        assert batched_out == scalar_out
+        assert states_equal(
+            scalar_plan.rng.bit_generator.state,
+            batched_plan.rng.bit_generator.state,
+        )
+
+    @pytest.mark.parametrize("block", [1, 7, 512])
+    def test_gilbert_elliott_burst_state_advances_identically(self, block):
+        scalar_loss = GilbertElliottLoss.from_average(0.25, burst_length=4.0)
+        batched_loss = GilbertElliottLoss.from_average(0.25, burst_length=4.0)
+        scalar_plan = FaultPlan(loss=scalar_loss, rng=np.random.default_rng(3))
+        batched_plan = FaultPlan(loss=batched_loss, rng=np.random.default_rng(3))
+
+        scalar_out = sample_sequence(scalar_plan, repeats=60)
+        with batched_plan.batched_sampling(block=block):
+            batched_out = sample_sequence(batched_plan, repeats=60)
+
+        assert batched_out == scalar_out
+        # The per-link Markov chain is part of the sampling state: both
+        # runs must end with identical burst flags per directed link.
+        assert scalar_loss._burst_state == batched_loss._burst_state
+        assert states_equal(
+            scalar_plan.rng.bit_generator.state,
+            batched_plan.rng.bit_generator.state,
+        )
+
+    def test_draws_after_session_continue_in_lockstep(self):
+        # Churn/outage draws after a batched convergecast must see the
+        # same generator a scalar convergecast would have left behind.
+        scalar_plan = FaultPlan(
+            loss=IndependentLoss(0.4), rng=np.random.default_rng(11)
+        )
+        batched_plan = FaultPlan(
+            loss=IndependentLoss(0.4), rng=np.random.default_rng(11)
+        )
+        sample_sequence(scalar_plan, repeats=7)
+        with batched_plan.batched_sampling(block=16):
+            sample_sequence(batched_plan, repeats=7)
+        assert np.array_equal(
+            scalar_plan.rng.random(50), batched_plan.rng.random(50)
+        )
+
+    def test_sessions_cannot_nest(self):
+        plan = FaultPlan(loss=IndependentLoss(0.5))
+        with plan.batched_sampling():
+            with pytest.raises(ConfigurationError, match="nest"):
+                with plan.batched_sampling():
+                    pass  # pragma: no cover
+
+    def test_session_restores_rng_on_error(self):
+        plan = FaultPlan(loss=IndependentLoss(0.5), rng=np.random.default_rng(5))
+        reference = np.random.default_rng(5)
+        with pytest.raises(RuntimeError):
+            with plan.batched_sampling(block=8):
+                for _ in range(5):
+                    plan.transmission_lost(1, 0)
+                raise RuntimeError("mid-convergecast failure")
+        # Five scalar draws must be accounted for despite the exception.
+        for _ in range(5):
+            reference.random()
+        assert states_equal(
+            reference.bit_generator.state, plan.rng.bit_generator.state
+        )
+        assert plan.rng is not None and not isinstance(
+            plan.rng, UniformBlockStream
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        probability=st.floats(min_value=0.0, max_value=0.99),
+        block=st.integers(min_value=1, max_value=64),
+        attempts=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_fuzz_iid_batched_equals_sequential(
+        self, probability, block, attempts, seed
+    ):
+        scalar_plan = FaultPlan(
+            loss=IndependentLoss(probability), rng=np.random.default_rng(seed)
+        )
+        batched_plan = FaultPlan(
+            loss=IndependentLoss(probability), rng=np.random.default_rng(seed)
+        )
+        scalar_out = [
+            scalar_plan.transmission_lost(1, 0) for _ in range(attempts)
+        ]
+        with batched_plan.batched_sampling(block=block):
+            batched_out = [
+                batched_plan.transmission_lost(1, 0) for _ in range(attempts)
+            ]
+        assert batched_out == scalar_out
+        assert states_equal(
+            scalar_plan.rng.bit_generator.state,
+            batched_plan.rng.bit_generator.state,
+        )
+
+
+class CountingLoss(IndependentLoss):
+    """A custom loss subclass: data-dependent draw counts per attempt.
+
+    Consumes one uniform to decide loss and, on a loss, a second uniform
+    (an intensity the model tracks) — exercising the contract that any
+    scalar-``random()`` consumption pattern batches correctly.
+    """
+
+    def __init__(self, probability: float) -> None:
+        super().__init__(probability)
+        self.intensities: list[float] = []
+
+    def lost(self, sender, receiver, rng) -> bool:
+        is_lost = rng.random() < self.probability
+        if is_lost:
+            self.intensities.append(rng.random())
+        return is_lost
+
+
+class TestCustomLossSubclass:
+    @pytest.mark.parametrize("block", [1, 5, 128])
+    def test_variable_draw_counts_batch_exactly(self, block):
+        scalar_loss = CountingLoss(0.45)
+        batched_loss = CountingLoss(0.45)
+        scalar_plan = FaultPlan(loss=scalar_loss, rng=np.random.default_rng(21))
+        batched_plan = FaultPlan(
+            loss=batched_loss, rng=np.random.default_rng(21)
+        )
+        scalar_out = sample_sequence(scalar_plan, repeats=30)
+        with batched_plan.batched_sampling(block=block):
+            batched_out = sample_sequence(batched_plan, repeats=30)
+        assert batched_out == scalar_out
+        assert scalar_loss.intensities == batched_loss.intensities
+        assert states_equal(
+            scalar_plan.rng.bit_generator.state,
+            batched_plan.rng.bit_generator.state,
+        )

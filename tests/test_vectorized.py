@@ -17,14 +17,18 @@ from typing import Sequence
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.experiments.config import default_algorithms
-from repro.faults import ArqPolicy, FaultDriver, FaultPlan
+from repro.faults import AdaptiveArqPolicy, ArqPolicy, FaultDriver, FaultPlan
 from repro.faults.network import FaultyTreeNetwork
 from repro.faults.plan import (
     GilbertElliottLoss,
     IndependentLoss,
+    RandomChurn,
+    RandomOutages,
     ScheduledChurn,
     ScheduledOutages,
 )
@@ -35,7 +39,8 @@ from repro.radio.ledger import EnergyLedger
 from repro.sim.engine import Payload, TreeNetwork, UniformPayload
 from repro.types import QuerySpec
 
-from tests.helpers import SequenceWorkload
+from tests.helpers import SequenceWorkload, assert_differential_invariant
+from tests.test_fault_sampling import states_equal
 
 RADIO_RANGE = 40.0
 
@@ -486,6 +491,228 @@ class TestFaultyEquivalence:
         ]
         assert_ledgers_identical(ledger_o, ledger_v)
         self.assert_fault_counters_equal(net_o, net_v)
+
+
+LOSS_AXIS = {
+    "lossless": lambda: None,
+    "iid-low": lambda: IndependentLoss(0.05),
+    "iid-high": lambda: IndependentLoss(0.25),
+    "gilbert-elliott": lambda: GilbertElliottLoss(0.2, 0.45, 0.03, 0.85),
+}
+
+
+class TestFaultyEquivalenceMatrix:
+    """Exhaustive loss × ARQ budget × churn × payload-shape sweep.
+
+    Every cell runs both cores under random churn *and* outages (so the
+    plan's RNG is consulted between convergecasts too) and asserts the
+    complete observable state matches bit for bit: ledgers, answers,
+    collection logs, fault counters, the link-quality EWMA table — values
+    *and* insertion order — and the fault plan's final generator state.
+    The payload axis covers both vectorized faulty walks: ``uniform``
+    takes the array-fold fast path, ``generic`` the batched object walk.
+    """
+
+    def run_cell(self, core, loss_factory, retries, kind, adaptive=False):
+        tree = random_tree(50, seed=18)
+        plan = FaultPlan(
+            loss=loss_factory(),
+            churn=RandomChurn(0.015),
+            outages=RandomOutages(0.04, mean_downtime=2.0),
+            rng=np.random.default_rng(777),
+        )
+        arq = (
+            AdaptiveArqPolicy(max_retries=max(retries, 1))
+            if adaptive
+            else ArqPolicy(max_retries=retries)
+        )
+        ledger = EnergyLedger(
+            num_vertices=tree.num_vertices,
+            root=tree.root,
+            model=EnergyModel(),
+            radio_range=RADIO_RANGE,
+        )
+        net = FaultyTreeNetwork(tree, ledger, plan=plan, arq=arq, core=core)
+        answers = []
+        for r in range(10):
+            net.begin_faults_round(r)
+            net.ledger.begin_round()
+            if kind == "uniform":
+                contributions = {
+                    v: OneReading(v * 3 + r)
+                    for v in tree.sensor_nodes
+                    if (v + r) % 6 != 0
+                }
+            else:
+                contributions = sized_contributions(tree, r)
+            answers.append(net.convergecast(contributions))
+            net.broadcast(24)
+            net.ledger.end_round()
+        return net, answers
+
+    @staticmethod
+    def assert_cells_identical(net_o, ans_o, net_v, ans_v, kind):
+        assert_networks_identical(net_o, net_v)
+        TestFaultyEquivalence.assert_fault_counters_equal(net_o, net_v)
+        if kind == "uniform":
+            assert [a and (a.value, a.count) for a in ans_o] == [
+                a and (a.value, a.count) for a in ans_v
+            ]
+        else:
+            assert [a and a.values for a in ans_o] == [
+                a and a.values for a in ans_v
+            ]
+        # The EWMA link table must agree in values AND insertion order —
+        # repair/rotation iterate it, so order is observable behaviour.
+        assert list(net_o.link_stats._loss.items()) == list(
+            net_v.link_stats._loss.items()
+        )
+        assert net_o.link_stats.observations == net_v.link_stats.observations
+        # Identical final RNG state proves both cores consumed the exact
+        # same draw sequence (churn/outage draws included).
+        assert states_equal(
+            net_o.plan.rng.bit_generator.state,
+            net_v.plan.rng.bit_generator.state,
+        )
+
+    @pytest.mark.parametrize("kind", ["uniform", "generic"])
+    @pytest.mark.parametrize("retries", [0, 2])
+    @pytest.mark.parametrize("loss_name", sorted(LOSS_AXIS))
+    def test_matrix_cell(self, loss_name, retries, kind):
+        loss_factory = LOSS_AXIS[loss_name]
+        net_o, ans_o = self.run_cell("object", loss_factory, retries, kind)
+        net_v, ans_v = self.run_cell("vector", loss_factory, retries, kind)
+        self.assert_cells_identical(net_o, ans_o, net_v, ans_v, kind)
+
+    @pytest.mark.parametrize("kind", ["uniform", "generic"])
+    @pytest.mark.parametrize("loss_name", ["iid-high", "gilbert-elliott"])
+    def test_adaptive_arq_cell(self, loss_name, kind):
+        """Adaptive ARQ: learned budgets must evolve identically per core."""
+        loss_factory = LOSS_AXIS[loss_name]
+        net_o, ans_o = self.run_cell(
+            "object", loss_factory, retries=4, kind=kind, adaptive=True
+        )
+        net_v, ans_v = self.run_cell(
+            "vector", loss_factory, retries=4, kind=kind, adaptive=True
+        )
+        self.assert_cells_identical(net_o, ans_o, net_v, ans_v, kind)
+        # And the budgets the policy would hand out next round agree.
+        tree = net_o.tree
+        for vertex in list(tree.sensor_nodes)[:10]:
+            parent = tree.parent[vertex]
+            assert net_o.arq.attempts_for(vertex, parent) == net_v.arq.attempts_for(
+                vertex, parent
+            )
+
+    @pytest.mark.parametrize("repair", [False, True])
+    @pytest.mark.parametrize("rotate_every", [0, 4])
+    def test_driver_rotation_repair_matrix(self, rotate_every, repair):
+        """Rotation × repair through the full driver, core-pinned."""
+
+        def run(core: str):
+            rng = np.random.default_rng(23)
+            n = 36
+            positions = rng.uniform(0, 30, size=(n, 2))
+            positions[0] = (15.0, 15.0)
+            graph = build_physical_graph(positions, RADIO_RANGE)
+            prng = np.random.default_rng(8)
+            parents = [-1] + [int(prng.integers(0, v)) for v in range(1, n)]
+            tree = tree_from_parents(0, parents, positions)
+            vrng = np.random.default_rng(6)
+            rounds = [vrng.integers(0, 100, size=n) for _ in range(10)]
+            plan = FaultPlan(
+                loss=IndependentLoss(0.12),
+                churn=RandomChurn(0.02),
+                outages=RandomOutages(0.05),
+                rng=np.random.default_rng(555),
+            )
+            driver = FaultDriver(
+                default_algorithms()["POS"],
+                QuerySpec(r_min=0, r_max=99),
+                tree,
+                SequenceWorkload(rounds),
+                plan,
+                ArqPolicy(max_retries=2),
+                graph=graph,
+                repair=repair,
+                radio_range=RADIO_RANGE,
+                rotate_every=rotate_every,
+                rotate_rng=np.random.default_rng(2),
+                core=core,
+            )
+            reports = driver.run(len(rounds))
+            return reports, driver
+
+        reports_o, driver_o = run("object")
+        reports_v, driver_v = run("vector")
+        assert [r.answer for r in reports_o] == [r.answer for r in reports_v]
+        assert [r.trustworthy for r in reports_o] == [
+            r.trustworthy for r in reports_v
+        ]
+        assert [sorted(r.participating) for r in reports_o] == [
+            sorted(r.participating) for r in reports_v
+        ]
+        assert_ledgers_identical(driver_o.ledger, driver_v.ledger)
+        TestFaultyEquivalence.assert_fault_counters_equal(
+            driver_o.net, driver_v.net
+        )
+        assert states_equal(
+            driver_o.net.plan.rng.bit_generator.state,
+            driver_v.net.plan.rng.bit_generator.state,
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        loss_rate=st.floats(min_value=0.0, max_value=0.3),
+        retries=st.integers(min_value=0, max_value=3),
+    )
+    def test_fuzz_differential_invariant_both_cores(
+        self, seed, loss_rate, retries
+    ):
+        """The oracle invariant holds on both cores for fuzzed fault cells,
+        and the cores agree with each other round by round."""
+        rng = np.random.default_rng(seed)
+        n = 24
+        positions = rng.uniform(0, 25, size=(n, 2))
+        positions[0] = (12.5, 12.5)
+        graph = build_physical_graph(positions, RADIO_RANGE)
+        prng = np.random.default_rng(seed + 1)
+        parents = [-1] + [int(prng.integers(0, v)) for v in range(1, n)]
+        tree = tree_from_parents(0, parents, positions)
+        vrng = np.random.default_rng(seed + 2)
+        rounds = [vrng.integers(0, 64, size=n) for _ in range(6)]
+        factories = {"POS": default_algorithms()["POS"]}
+        spec = QuerySpec(r_min=0, r_max=63)
+
+        def plan_factory():
+            return FaultPlan(
+                loss=IndependentLoss(loss_rate),
+                churn=RandomChurn(0.01),
+                rng=np.random.default_rng(seed + 3),
+            )
+
+        per_core = {
+            core: assert_differential_invariant(
+                factories,
+                graph,
+                tree,
+                rounds,
+                spec,
+                plan_factory,
+                retries=retries,
+                radio_range=RADIO_RANGE,
+                min_trustworthy=0,
+                core=core,
+            )["POS"]
+            for core in ("object", "vector")
+        }
+        assert [r.answer for r in per_core["object"]] == [
+            r.answer for r in per_core["vector"]
+        ]
+        assert [r.trustworthy for r in per_core["object"]] == [
+            r.trustworthy for r in per_core["vector"]
+        ]
 
 
 class TestCoreSelection:
