@@ -1,0 +1,160 @@
+"""History-service read throughput: cached reads/sec at dashboard load.
+
+The root-side :class:`~repro.serving.history.HistoryStore` exists so the
+reproduction can serve heavy *read* traffic about the recent past with no
+radio traffic at all.  This benchmark pins that claim: a served run
+absorbs its rounds into the store, then a dashboard-style client replays
+10k reads per round (windows, decayed estimates, latest) against the warm
+read cache, per window size.  The gated metrics are the cached and cold
+read rates (``*_reads_per_sec``) plus the serving loop's own
+``rounds_per_sec``; results land in ``BENCH_history.json`` and are gated
+by ``benchmarks/check_perf.py`` against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.common import archive, bench_scale, emit_perf, run_once
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.network.routing import build_routing_tree
+from repro.network.topology import connected_random_graph
+from repro.serving import (
+    MultiQueryRunner,
+    PhiQuery,
+    QueryRegistry,
+    phi_label,
+)
+from repro.types import QuerySpec
+
+SEED = 11
+PHIS = (0.5, 0.9, 0.95, 0.99)
+WINDOW_SIZES = (8, 32, 128)
+#: Dashboard read traffic replayed per absorbed round and window size.
+READS_PER_ROUND = 10_000
+#: Cold (cache-cleared) reads timed per window size.
+COLD_READS = 1_000
+HALF_LIVES = (4.0, 16.0)
+
+
+def serve(num_nodes: int, num_rounds: int):
+    """One served deployment whose history the clients will read."""
+    rng = np.random.default_rng(SEED)
+    graph = connected_random_graph(num_nodes + 1, 35.0, rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(graph.positions, rng)
+    spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+    registry = QueryRegistry()
+    for phi in PHIS:
+        registry.register(PhiQuery(phi_label(phi), phis=(phi,)))
+    runner = MultiQueryRunner(registry, spec, tree, workload, graph=graph)
+    start = time.perf_counter()
+    runner.run(num_rounds)
+    elapsed = time.perf_counter() - start
+    return runner, num_rounds / elapsed
+
+
+def replay_reads(store, queries, window: int, reads: int) -> float:
+    """Replay a mixed dashboard read pattern; returns elapsed seconds."""
+    start = time.perf_counter()
+    for index in range(reads):
+        query = queries[index % len(queries)]
+        op = index % 3
+        if op == 0:
+            store.window(query, window)
+        elif op == 1:
+            store.decayed(query, HALF_LIVES[index % len(HALF_LIVES)])
+        else:
+            store.latest(query)
+    return time.perf_counter() - start
+
+
+def clear_caches(store, queries) -> None:
+    for query in queries:
+        store._track_or_raise(query).cache.clear()
+
+
+def compute():
+    scale = bench_scale()
+    num_nodes = max(40, round(300 * scale))
+    num_rounds = max(20, round(120 * scale))
+    runner, serve_rps = serve(num_nodes, num_rounds)
+    store = runner.history
+    queries = [q for q in store.queries() if store.labels(q)]
+
+    windows = {}
+    for window in WINDOW_SIZES:
+        clear_caches(store, queries)
+        # Warm the cache with one pass, then time the per-round traffic.
+        replay_reads(store, queries, window, len(queries) * 3)
+        before = store.cache_stats()
+        hits_before = sum(s.hits for s in before)
+        misses_before = sum(s.misses for s in before)
+        warm_elapsed = replay_reads(store, queries, window, READS_PER_ROUND)
+        stats = store.cache_stats()
+        hits = sum(s.hits for s in stats) - hits_before
+        misses = sum(s.misses for s in stats) - misses_before
+
+        # Cold reads: every read recomputes (cache cleared each time).
+        cold_start = time.perf_counter()
+        for index in range(COLD_READS):
+            clear_caches(store, queries)
+            store.window(queries[index % len(queries)], window)
+        cold_elapsed = time.perf_counter() - cold_start
+
+        windows[str(window)] = {
+            "window": window,
+            "cached_reads_per_sec": READS_PER_ROUND / warm_elapsed,
+            "cold_reads_per_sec": COLD_READS / cold_elapsed,
+            "hit_rate": hits / (hits + misses),
+        }
+
+    return {
+        "num_nodes": num_nodes,
+        "num_rounds": num_rounds,
+        "num_queries": len(queries),
+        "reads_per_round": READS_PER_ROUND,
+        "serve_rounds_per_sec": serve_rps,
+        "retained_items_per_query": max(
+            store.size_items(q) for q in queries
+        ),
+        "windows": windows,
+    }
+
+
+def format_table(data) -> str:
+    lines = [
+        "history service: cached read throughput per window size "
+        f"({data['num_queries']} queries, {data['num_nodes']} nodes, "
+        f"{data['num_rounds']} rounds, {data['reads_per_round']} "
+        "reads/round)",
+        f"{'window':>7s} {'cached r/s':>12s} {'cold r/s':>10s} "
+        f"{'hit rate':>9s}",
+    ]
+    for key in sorted(data["windows"], key=int):
+        cell = data["windows"][key]
+        lines.append(
+            f"{cell['window']:7d} {cell['cached_reads_per_sec']:12,.0f} "
+            f"{cell['cold_reads_per_sec']:10,.0f} {cell['hit_rate']:9.1%}"
+        )
+    lines.append(
+        f"serving loop: {data['serve_rounds_per_sec']:.1f} rounds/sec; "
+        f"<= {data['retained_items_per_query']} retained items per query"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def test_history_read_throughput(benchmark):
+    data = run_once(benchmark, compute)
+    text = format_table(data)
+    print("\n" + text)
+    archive("history", text)
+    emit_perf("history", data)
+
+    for cell in data["windows"].values():
+        # The whole point of the cache: warm reads are answered from it.
+        assert cell["hit_rate"] >= 0.95
+        # Cached reads must dominate recomputation by a wide margin.
+        assert cell["cached_reads_per_sec"] > cell["cold_reads_per_sec"]

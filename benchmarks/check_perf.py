@@ -5,8 +5,9 @@ Every benchmark run emits machine-readable perf records via
 records (``benchmarks/results/``) against the committed baselines
 (``benchmarks/baselines/``) and fails the build when a hot path regressed:
 
-* metrics whose key ends in ``rounds_per_sec`` are higher-is-better and
-  may not drop more than ``--max-slowdown`` (default 25%) below baseline;
+* metrics whose key ends in ``rounds_per_sec`` or ``reads_per_sec`` are
+  higher-is-better and may not drop more than ``--max-slowdown``
+  (default 25%) below baseline;
 * ``peak_rss_kb`` is lower-is-better and may not grow more than
   ``--max-rss-growth`` (default 20%) above baseline;
 * every other numeric metric is informational.
@@ -14,9 +15,13 @@ records (``benchmarks/results/``) against the committed baselines
 Records are only compared at matching ``scale`` (a record measured at
 ``REPRO_BENCH_SCALE=0.15`` says nothing about a 0.05 baseline): a scale
 mismatch warns and skips the file.  A fresh record without a committed
-baseline warns and passes — the follow-up PR commits the baseline.  A
-malformed record (unparseable, or not a JSON object) is a hard failure
-either side: silent corruption must not read as "no regression".
+baseline warns and passes only for *genuinely new* benchmarks; when the
+repo root already holds a committed ``BENCH_<name>.json`` whose content
+differs from the fresh record (``emit_perf`` writes both copies in one
+shot, so a differing root copy predates this run), the missing baseline
+is a silent gate bypass and fails hard.  A malformed record
+(unparseable, or not a JSON object) is a hard failure either side:
+silent corruption must not read as "no regression".
 
 Refresh the baselines with ``--update`` (locally, or via the
 ``refresh_baselines`` workflow_dispatch input) after an intentional perf
@@ -33,6 +38,8 @@ from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BASELINES_DIR = Path(__file__).parent / "baselines"
+#: Repo root, where ``emit_perf`` commits the diffable trajectory copy.
+REPO_ROOT = Path(__file__).parent.parent
 
 #: Relative drop allowed on higher-is-better throughput metrics.
 DEFAULT_MAX_SLOWDOWN = 0.25
@@ -76,7 +83,7 @@ def numeric_leaves(record, prefix: str = "") -> dict[str, float]:
 def metric_kind(path: str) -> str | None:
     """Gated metric class of a flattened path, or ``None`` if informational."""
     leaf = path.rsplit(".", 1)[-1]
-    if leaf.endswith("rounds_per_sec"):
+    if leaf.endswith("rounds_per_sec") or leaf.endswith("reads_per_sec"):
         return "throughput"
     if leaf == "peak_rss_kb":
         return "rss"
@@ -142,8 +149,11 @@ def check(
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
     max_rss_growth: float = DEFAULT_MAX_RSS_GROWTH,
     update: bool = False,
+    repo_root: Path | None = None,
 ) -> int:
     """Run the gate; returns the process exit code."""
+    if repo_root is None:
+        repo_root = REPO_ROOT
     fresh_paths = sorted(fresh_dir.glob("BENCH_*.json"))
     if not fresh_paths:
         print(f"FAIL: no fresh BENCH_*.json records under {fresh_dir}")
@@ -160,6 +170,21 @@ def check(
         fresh = load_record(path)
         baseline_path = baselines_dir / path.name
         if not baseline_path.exists():
+            # Warn-and-pass is only for genuinely new benchmarks.  A repo-
+            # root trajectory record that *differs* from the fresh one was
+            # committed by an earlier PR (emit_perf writes the root copy
+            # and the fresh copy byte-identically in the same run), so a
+            # missing baseline there is a silent gate bypass, not a new
+            # benchmark — fail hard.
+            root_copy = repo_root / path.name
+            if root_copy.exists() and root_copy.read_text() != path.read_text():
+                failures.append(
+                    f"{path.name}: committed trajectory record "
+                    f"{root_copy} exists but {baselines_dir} has no "
+                    f"baseline — the gate would silently pass; commit a "
+                    f"baseline (check_perf.py --update)"
+                )
+                continue
             print(
                 f"WARN: {path.name} has no committed baseline under "
                 f"{baselines_dir} — passing; commit one to arm the gate"
@@ -202,6 +227,11 @@ def main(argv: list[str] | None = None) -> int:
         "--update", action="store_true",
         help="copy the fresh records over the baselines instead of gating",
     )
+    parser.add_argument(
+        "--repo-root", type=Path, default=REPO_ROOT,
+        help="repo root holding the committed BENCH_*.json trajectory "
+        "copies (used to detect a missing-baseline gate bypass)",
+    )
     args = parser.parse_args(argv)
     try:
         return check(
@@ -210,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
             max_slowdown=args.max_slowdown,
             max_rss_growth=args.max_rss_growth,
             update=args.update,
+            repo_root=args.repo_root,
         )
     except MalformedRecord as exc:
         print(f"FAIL: {exc}")

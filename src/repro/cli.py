@@ -15,6 +15,10 @@ Subcommands:
 * ``queries`` — multi-query serving: register a φ-grid, group-by regions
   and range predicates, serve them all from one shared gated convergecast
   and compare the energy with a single-query tracker (``repro.serving``).
+* ``history`` — the root-side history service: run a served deployment,
+  absorb every round into bounded-memory summaries and answer
+  latest/window/decayed/at-round reads at zero radio cost, with read-cache
+  hit rates and staleness reported (``repro.serving.history``).
 * ``report``  — regenerate the whole evaluation as one markdown document.
 
 Examples::
@@ -28,6 +32,7 @@ Examples::
     python -m repro faults --loss 0.05 0.1 --retries 0 2 --burst 8 --churn 0.01
     python -m repro sketch --eps 0.02 0.05 0.1
     python -m repro queries --phis 0.5 0.95 0.99 --regions 2 --range 200 399
+    python -m repro history --phis 0.5 0.95 --windows 8 32 --half-lives 4 16
 """
 
 from __future__ import annotations
@@ -233,6 +238,56 @@ def build_parser() -> argparse.ArgumentParser:
                          help="radio range in metres")
     queries.add_argument("--seed", type=int, default=20140324)
 
+    history = sub.add_parser(
+        "history",
+        help="root-side history service: windows, decay and cached reads "
+        "over a served run (repro.serving.history)",
+    )
+    history.add_argument(
+        "--phis", type=float, nargs="+", default=[0.5, 0.95],
+        help="the phi-grid to serve and absorb (one PhiQuery per phi)",
+    )
+    history.add_argument(
+        "--windows", type=int, nargs="+", default=[8, 32],
+        help="window sizes (rounds) to read back",
+    )
+    history.add_argument(
+        "--half-lives", type=float, nargs="+", default=[4.0, 16.0],
+        help="half-lives (rounds) for the decayed reads",
+    )
+    history.add_argument(
+        "--at-round", type=int, nargs="+", default=None, metavar="R",
+        help="historical point reads to answer via the checkpoint index",
+    )
+    history.add_argument(
+        "--reads", type=int, default=10_000,
+        help="cached reads to replay against the store for the "
+        "throughput/hit-rate report",
+    )
+    history.add_argument(
+        "--eps", type=float, default=0.05,
+        help="per-query rank-error budget (fraction of the population)",
+    )
+    history.add_argument(
+        "--loss", type=float, default=0.0,
+        help="i.i.d. link loss rate for the fault layer",
+    )
+    history.add_argument(
+        "--retries", type=int, default=2,
+        help="per-hop ARQ retry budget (0 disables ARQ)",
+    )
+    history.add_argument(
+        "--transient", type=float, default=0.0,
+        help="per-round probability of each sensor starting a transient "
+        "outage",
+    )
+    history.add_argument("--nodes", type=int, default=80)
+    history.add_argument("--rounds", type=int, default=40)
+    history.add_argument("--range-radio", type=float, default=35.0,
+                         dest="radio_range", metavar="M",
+                         help="radio range in metres")
+    history.add_argument("--seed", type=int, default=20140324)
+
     report = sub.add_parser(
         "report", help="regenerate the paper's full evaluation as markdown"
     )
@@ -351,6 +406,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if command == "queries":
         return _run_queries(args)
+
+    if command == "history":
+        return _run_history(args)
 
     if command == "report":
         from repro.experiments.paper import generate_report
@@ -544,6 +602,114 @@ def _run_queries(args) -> int:
             f"{k} queries served at {total / baseline:.2f}x one tracker "
             f"(independent runs would cost ~{k}x)"
         )
+    return 0
+
+
+def _run_history(args) -> int:
+    """The ``history`` subcommand: serve a run, then read its past back."""
+    import time
+
+    import numpy as np
+
+    from repro.datasets.synthetic import SyntheticWorkload
+    from repro.faults import ArqPolicy, FaultPlan
+    from repro.faults.plan import IndependentLoss, RandomOutages
+    from repro.network.routing import build_routing_tree
+    from repro.network.topology import connected_random_graph
+    from repro.serving import (
+        MultiQueryRunner,
+        PhiQuery,
+        QueryRegistry,
+        phi_label,
+    )
+    from repro.types import QuerySpec
+
+    rng = np.random.default_rng(args.seed)
+    graph = connected_random_graph(args.nodes + 1, args.radio_range, rng)
+    tree = build_routing_tree(graph, root=0)
+    workload = SyntheticWorkload(graph.positions, rng)
+    spec = QuerySpec(r_min=workload.r_min, r_max=workload.r_max)
+
+    registry = QueryRegistry()
+    for phi in args.phis:
+        registry.register(PhiQuery(phi_label(phi), phis=(phi,), eps=args.eps))
+    plan = FaultPlan(
+        loss=IndependentLoss(args.loss) if args.loss > 0 else None,
+        outages=RandomOutages(args.transient) if args.transient > 0 else None,
+        seed=args.seed,
+    )
+    arq = ArqPolicy(max_retries=args.retries) if args.retries > 0 else None
+    runner = MultiQueryRunner(
+        registry, spec, tree, workload, plan, arq,
+        graph=graph, radio_range=args.radio_range,
+    )
+    runner.run(args.rounds)
+    store = runner.history
+
+    print(
+        f"history service: {len(registry)} queries, {args.nodes} nodes, "
+        f"{args.rounds} rounds, loss={args.loss:g}, "
+        f"transient={args.transient:g} — all reads root-side, zero radio"
+    )
+    window_heads = "".join(f" {'win' + str(n):>9s}" for n in args.windows)
+    decay_heads = "".join(f" {'hl' + f'{h:g}':>9s}" for h in args.half_lives)
+    print(
+        f"{'query':>12s} {'latest':>8s} {'age':>4s} {'trust':>5s}"
+        f"{window_heads}{decay_heads} {'all-time':>9s}"
+    )
+    for query in store.queries():
+        for label in store.labels(query):
+            latest = store.latest(query, label)
+            windows = "".join(
+                f" {store.window(query, n, label).value:9.1f}"
+                for n in args.windows
+            )
+            decays = "".join(
+                f" {store.decayed(query, h, label).value:9.1f}"
+                for h in args.half_lives
+            )
+            alltime = store.summary_quantile(query, 0.5, label).value
+            name = query if query == label or query == "__primary__" else (
+                f"{query}/{label}"
+            )
+            print(
+                f"{name:>12s} {latest.value:8.1f} {latest.age_rounds:4d} "
+                f"{'yes' if latest.trustworthy else 'NO':>5s}"
+                f"{windows}{decays} {alltime:9.1f}"
+            )
+    for r in args.at_round or ():
+        for query in store.queries():
+            label = store.labels(query)[0]
+            read = store.at_round(query, r, label)
+            print(
+                f"at round {r}: {query}/{label} = {read.value:g} "
+                f"(observed round {read.round_index}, "
+                f"age {read.age_rounds} rounds)"
+            )
+
+    # Replay a read-heavy client against the warm cache: the serving
+    # story is thousands of dashboard reads per absorbed round.
+    queries = [q for q in store.queries() if store.labels(q)]
+    reads = max(1, args.reads)
+    start = time.perf_counter()
+    for index in range(reads):
+        query = queries[index % len(queries)]
+        label = store.labels(query)[0]
+        n = args.windows[index % len(args.windows)]
+        half_life = args.half_lives[index % len(args.half_lives)]
+        store.window(query, n, label)
+        store.decayed(query, half_life, label)
+        store.latest(query, label)
+    elapsed = time.perf_counter() - start
+    total = sum(s.hits + s.misses for s in store.cache_stats())
+    hits = sum(s.hits for s in store.cache_stats())
+    items = max(store.size_items(q) for q in queries)
+    print(
+        f"\nread replay: {3 * reads} reads in {elapsed * 1e3:.1f} ms "
+        f"({3 * reads / elapsed:,.0f} reads/sec), cache hit rate "
+        f"{hits / total:.1%} ({hits}/{total}), "
+        f"<= {items} retained items per query"
+    )
     return 0
 
 

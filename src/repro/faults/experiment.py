@@ -254,6 +254,7 @@ class FaultDriver:
         rotate_rng: np.random.Generator | None = None,
         heal_patience: int = 1,
         core: str | None = None,
+        history=None,
     ) -> None:
         if rotate_every < 0:
             raise ConfigurationError(
@@ -267,6 +268,12 @@ class FaultDriver:
         self.spec = spec
         self.workload = workload
         self.graph = graph
+        #: Optional root-side :class:`~repro.serving.history.HistoryStore`
+        #: (duck-typed to avoid a faults -> serving import cycle): when
+        #: attached, every round report is absorbed as the history's
+        #: ``__primary__`` track — degraded rounds advance its clock but
+        #: never reach the summaries.
+        self.history = history
         self.repair_metric = repair_metric
         self.rotate_every = rotate_every
         self._rotate_rng = (
@@ -521,7 +528,7 @@ class FaultDriver:
             if degraded
             else ("tracking" if self._initialized else "init")
         )
-        return RoundReport(
+        report = RoundReport(
             round_index=round_index,
             answer=self.last_answer,
             live=live,
@@ -533,6 +540,9 @@ class FaultDriver:
             degraded=degraded,
             degraded_reason=degraded_reason,
         )
+        if self.history is not None:
+            self.history.absorb_report(report)
+        return report
 
     def run(self, num_rounds: int) -> list[RoundReport]:
         """Run the full loop; stops early only if every sensor is dead.

@@ -18,6 +18,14 @@ from repro.serving.grid import (
     range_fraction,
     value_bounds,
 )
+from repro.serving.history import (
+    PRIMARY_LABEL,
+    PRIMARY_TRACK,
+    CacheStats,
+    HistoryRead,
+    HistoryStore,
+    IncrementalQuantile,
+)
 from repro.serving.queries import (
     DEFAULT_EPS,
     AnswerItem,
@@ -41,9 +49,15 @@ from repro.serving.runner import MultiQueryRunner, QueryStats, ServingRound
 
 __all__ = [
     "DEFAULT_EPS",
+    "PRIMARY_LABEL",
+    "PRIMARY_TRACK",
     "AnswerItem",
+    "CacheStats",
     "GridValidationPayload",
     "GroupByQuery",
+    "HistoryRead",
+    "HistoryStore",
+    "IncrementalQuantile",
     "MultiQueryRunner",
     "MultiQuerySketch",
     "PhiQuery",

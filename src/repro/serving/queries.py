@@ -171,6 +171,13 @@ class QueryAnswer:
     #: Amortized share of this round's total radio energy [mJ]: the round
     #: bill divided by the number of registered queries.
     energy_share_mj: float
+    #: How stale the served values are, in rounds.  ``0`` on normally
+    #: answered rounds; on degraded rounds the re-served cached answer is
+    #: stamped with the *current* round index and this field records the
+    #: distance back to the round the values were actually observed, so
+    #: downstream consumers (the history store included) can tell a fresh
+    #: answer from a re-served one.
+    age_rounds: int = 0
 
     def item(self, label: str) -> AnswerItem:
         """Look up one answer item by its label."""

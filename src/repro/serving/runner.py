@@ -13,7 +13,13 @@ answers, re-flagged ``trustworthy=False`` with reason ``"degraded"``.
 
 Queries can be registered and deregistered between any two rounds — the
 gate notices the registry version change and re-anchors with one refresh
-collection; the network is never re-initialized for it.
+collection; the network is never re-initialized for it.  Deregistering
+also evicts the query's cached degraded-round answer (a re-registered
+query with the same name must never be served the old query's values);
+its *history* survives in the runner's :class:`HistoryStore`, which
+absorbs every round's answers — including the driver's own answer as the
+``__primary__`` track — and serves window/decay/at-round reads at zero
+radio cost.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import numpy as np
 from repro.faults.experiment import FaultDriver, RoundReport
 from repro.faults.plan import FaultPlan
 from repro.serving.algorithm import MultiQuerySketch
+from repro.serving.history import HistoryStore
 from repro.serving.queries import Query, QueryAnswer
 from repro.serving.registry import QueryRegistry
 from repro.types import QuerySpec
@@ -69,6 +76,8 @@ class MultiQueryRunner:
         plan: fault plan (defaults to a fault-free network).
         positions: sensor coordinates handed to group-by region assigners;
             defaults to ``graph.positions`` when a graph is given.
+        history: the root-side history store fed with every round's
+            answers; a default-configured one is created when omitted.
 
     Remaining keyword arguments go to
     :class:`~repro.faults.experiment.FaultDriver` verbatim.
@@ -85,11 +94,13 @@ class MultiQueryRunner:
         *,
         graph=None,
         positions: np.ndarray | None = None,
+        history: HistoryStore | None = None,
         **driver_kwargs,
     ) -> None:
         if positions is None and graph is not None:
             positions = graph.positions
         self.registry = registry
+        self.history = history if history is not None else HistoryStore()
 
         def factory(s: QuerySpec) -> MultiQuerySketch:
             return MultiQuerySketch(s, registry=registry, positions=positions)
@@ -102,6 +113,7 @@ class MultiQueryRunner:
             plan if plan is not None else FaultPlan(),
             arq,
             graph=graph,
+            history=self.history,
             **driver_kwargs,
         )
         self.rounds: list[ServingRound] = []
@@ -114,8 +126,16 @@ class MultiQueryRunner:
         self.registry.register(query)
 
     def deregister(self, name: str) -> None:
-        """Deregister a query; its targets are dropped at the next refresh."""
+        """Deregister a query; its targets are dropped at the next refresh.
+
+        The degraded-round answer cache is evicted with it: a query later
+        re-registered under the same name must never be served the old
+        query's values, and the cache must not grow without bound under
+        register/deregister churn.  History is *kept* — the store's past
+        is still truthful after the query is gone.
+        """
         self.registry.deregister(name)
+        self._cache.pop(name, None)
 
     # -- round loop -----------------------------------------------------------
 
@@ -143,6 +163,7 @@ class MultiQueryRunner:
                 if any(item.value is not None for item in answer.items):
                     self._cache[answer.query] = answer
 
+        self.history.absorb_answers(report.round_index, answers)
         served = ServingRound(report=report, answers=answers)
         self.rounds.append(served)
         return served
@@ -185,6 +206,10 @@ class MultiQueryRunner:
                         trustworthy=False,
                         reason="degraded",
                         energy_share_mj=share,
+                        # The values were observed at the cached answer's
+                        # round; stamp the distance so consumers can tell
+                        # how stale the re-served answer is.
+                        age_rounds=report.round_index - cached.round_index,
                     )
                 )
         return tuple(answers)

@@ -49,6 +49,15 @@ class TestParser:
         assert args.churn == 0.0
         assert args.patience == 2
 
+    def test_history_defaults(self):
+        args = build_parser().parse_args(["history"])
+        assert args.command == "history"
+        assert args.phis == [0.5, 0.95]
+        assert args.windows == [8, 32]
+        assert args.half_lives == [4.0, 16.0]
+        assert args.at_round is None
+        assert args.reads == 10_000
+
     def test_faults_matrix_parsed(self):
         args = build_parser().parse_args(
             ["faults", "--loss", "0.05", "0.1", "--retries", "0", "1", "3",
@@ -133,6 +142,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SKQ@0.1" in out and "TAG" in out
         assert "rank-err" in out
+
+    def test_history_prints_reads_and_cache(self, capsys):
+        code = main(
+            ["history", "--nodes", "25", "--rounds", "8", "--reads", "200",
+             "--at-round", "4", "--seed", "3", "--range-radio", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "history service:" in out
+        assert "win8" in out and "hl4" in out and "all-time" in out
+        assert "at round 4" in out
+        assert "reads/sec" in out and "hit rate" in out
 
     def test_pressure_prints_table(self, capsys, monkeypatch):
         code = main(["pressure", "--scale", "0.05"])

@@ -88,6 +88,8 @@ class TestNumericLeaves:
             "throughput"
         )
         assert metric_kind("rounds_per_sec") == "throughput"
+        assert metric_kind("windows.32.cached_reads_per_sec") == "throughput"
+        assert metric_kind("reads_per_sec") == "throughput"
         assert metric_kind("sizes.300.peak_rss_kb") == "rss"
         assert metric_kind("sizes.300.speedup") is None
         assert metric_kind("scale") is None
@@ -128,10 +130,59 @@ class TestCheckPerf:
         assert check(tmp_path / "fresh", tmp_path / "base") == 0
 
     def test_missing_baseline_warns_and_passes(self, tmp_path, capsys):
+        # A *genuinely new* benchmark: no baseline, no committed repo-root
+        # trajectory record either.
         write_record(tmp_path / "fresh", "engine", sample_record())
         (tmp_path / "base").mkdir()
-        assert check(tmp_path / "fresh", tmp_path / "base") == 0
+        assert (
+            check(tmp_path / "fresh", tmp_path / "base", repo_root=tmp_path)
+            == 0
+        )
         assert "no committed baseline" in capsys.readouterr().out
+
+    def test_missing_baseline_with_committed_root_record_fails(
+        self, tmp_path, capsys
+    ):
+        # The repo root already holds a BENCH record that differs from the
+        # fresh one — it was committed by an earlier PR, so the missing
+        # baseline is a silent gate bypass, not a new benchmark.
+        write_record(tmp_path / "fresh", "engine", sample_record())
+        (tmp_path / "base").mkdir()
+        write_record(tmp_path, "engine", sample_record(rps=90.0))
+        assert (
+            check(tmp_path / "fresh", tmp_path / "base", repo_root=tmp_path)
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "silently pass" in out and "FAIL" in out
+
+    def test_missing_baseline_with_identical_root_record_passes(
+        self, tmp_path, capsys
+    ):
+        # Byte-identical root copy: emit_perf wrote both in this very run,
+        # so the benchmark really is new — warn-and-pass.
+        write_record(tmp_path / "fresh", "engine", sample_record())
+        (tmp_path / "base").mkdir()
+        (tmp_path / "BENCH_engine.json").write_text(
+            (tmp_path / "fresh" / "BENCH_engine.json").read_text()
+        )
+        assert (
+            check(tmp_path / "fresh", tmp_path / "base", repo_root=tmp_path)
+            == 0
+        )
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_repo_root_flag_reaches_the_bypass_check(self, tmp_path):
+        write_record(tmp_path / "fresh", "engine", sample_record())
+        (tmp_path / "base").mkdir()
+        write_record(tmp_path, "engine", sample_record(rps=90.0))
+        assert main(
+            [
+                "--fresh", str(tmp_path / "fresh"),
+                "--baselines", str(tmp_path / "base"),
+                "--repo-root", str(tmp_path),
+            ]
+        ) == 1
 
     def test_no_fresh_records_fails(self, tmp_path, capsys):
         (tmp_path / "fresh").mkdir()

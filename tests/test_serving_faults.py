@@ -143,6 +143,115 @@ class TestDegradedRounds:
                 assert any(i.value is not None for i in answer.items)
 
 
+class TestDegradedStaleness:
+    """Satellite: degraded answers must carry an explicit ``age_rounds``."""
+
+    def build(self, outage_rounds):
+        graph, tree = deployment([(0.0, 0.0), (8.0, 0.0), (16.0, 0.0)])
+        rng = np.random.default_rng(3)
+        rounds = [rng.integers(100, 900, size=3) for _ in range(8)]
+        registry = QueryRegistry()
+        registry.register(PhiQuery("grid", phis=(0.5,)))
+        return MultiQueryRunner(
+            registry,
+            QuerySpec(r_min=0, r_max=1023),
+            tree,
+            SequenceWorkload(rounds),
+            FaultPlan(outages=ScheduledOutages(outage_rounds)),
+            graph=graph,
+            radio_range=RANGE,
+        )
+
+    def test_age_accumulates_across_consecutive_degraded_rounds(self):
+        # Rounds 2-4 degraded: the cached round-1 answer is re-served with
+        # ages 1, 2, 3 — round_index alone (always "now") can't tell the
+        # consumer how stale the values are.
+        runner = self.build({2: [(1, 3), (2, 3)]})
+        served = runner.run(8)
+        ages = {}
+        for s in served:
+            answer = next(a for a in s.answers if a.query == "grid")
+            ages[s.report.round_index] = answer.age_rounds
+            assert answer.round_index == s.report.round_index
+        assert ages[0] == 0 and ages[1] == 0
+        assert ages[2] == 1 and ages[3] == 2 and ages[4] == 3
+        assert ages[5] == 0  # recovery: fresh data again
+
+
+class TestRegisterChurn:
+    """Register/deregister/re-register under faults, with history attached.
+
+    Pins satellite 1: ``deregister`` must evict the runner's serving
+    cache, so a later same-name query can never be served the dead
+    query's stale values on a degraded round, and churn cannot grow the
+    cache without bound.
+    """
+
+    def build(self, outage_rounds=None):
+        graph, tree = deployment([(0.0, 0.0), (8.0, 0.0), (16.0, 0.0)])
+        rng = np.random.default_rng(9)
+        rounds = [rng.integers(100, 900, size=3) for _ in range(10)]
+        registry = QueryRegistry()
+        registry.register(PhiQuery("grid", phis=(0.5,)))
+        registry.register(PhiQuery("q", phis=(0.5,)))
+        plan = FaultPlan(
+            outages=ScheduledOutages(outage_rounds) if outage_rounds else None
+        )
+        runner = MultiQueryRunner(
+            registry,
+            QuerySpec(r_min=0, r_max=1023),
+            tree,
+            SequenceWorkload(rounds),
+            plan,
+            graph=graph,
+            radio_range=RANGE,
+        )
+        return runner
+
+    def test_deregister_evicts_serving_cache(self):
+        runner = self.build()
+        runner.step(0)
+        runner.step(1)
+        assert "q" in runner._cache
+        runner.deregister("q")
+        assert "q" not in runner._cache
+
+    def test_reregistered_query_never_served_the_old_cached_answer(self):
+        # Deregister "q" after round 1, re-register a *different* query
+        # under the same name, then degrade round 2 before the new "q" was
+        # ever answered.  Without eviction the round would re-serve the
+        # old p50 under the new query's name.
+        runner = self.build({2: [(1, 1), (2, 1)]})
+        runner.step(0)
+        served = runner.step(1)
+        old = next(a for a in served.answers if a.query == "q")
+        assert old.trustworthy and old.items
+        runner.deregister("q")
+        runner.register(PhiQuery("q", phis=(0.9,)))
+        degraded = runner.step(2)
+        assert degraded.report.degraded
+        answer = next(a for a in degraded.answers if a.query == "q")
+        assert not answer.trustworthy
+        assert answer.items == ()  # no stale hand-me-down values
+        # After recovery the new query serves its own phi labels.
+        recovered = runner.step(3)
+        fresh = next(a for a in recovered.answers if a.query == "q")
+        assert fresh.trustworthy
+        assert [i.label for i in fresh.items] == ["p90"]
+
+    def test_churn_keeps_cache_bounded_and_history_intact(self):
+        runner = self.build()
+        runner.step(0)
+        for cycle in range(5):
+            runner.deregister("q")
+            runner.register(PhiQuery("q", phis=(0.5,)))
+            runner.step(cycle + 1)
+        assert set(runner._cache) <= {"grid", "q"}
+        # History survives the churn: the store kept absorbing "q" rounds
+        # across every deregister/re-register cycle.
+        assert runner.history.summary_quantile("q", 0.5, "p50").count == 6
+
+
 class TestDifferentialInvariant:
     def test_serving_gate_under_loss_and_churn(self):
         """The harness's budget + φ-grid axes over the full serving gate."""
