@@ -239,6 +239,14 @@ class LCLLHierarchical(ContinuousQuantileAlgorithm):
             else:
                 self._registration[level, vertex] = -1
 
+    def handover_state_bits(self) -> int:
+        # The whole zoom hierarchy moves: per level, the grid bounds plus
+        # one counter per bucket.
+        bits = super().handover_state_bits()
+        for counts in self._counts:
+            bits += (len(counts) + 2) * VALUE_BITS
+        return bits
+
     def _register_all(self, net: TreeNetwork, values: np.ndarray) -> np.ndarray:
         """Per-level bucket registration of every vertex (-1 = outside)."""
         if self._mask is None:
@@ -440,6 +448,10 @@ class LCLLSlip(ContinuousQuantileAlgorithm):
             position = value - self._window_low
         self._shift_position(position, 1)
         self._state[vertex] = position
+
+    def handover_state_bits(self) -> int:
+        # Window base, the per-cell counters, and the two boundary counters.
+        return super().handover_state_bits() + (len(self._cells) + 3) * VALUE_BITS
 
     def _shift_position(self, position: int, delta: int) -> None:
         """Move one membership in/out of a window cell or boundary counter."""

@@ -156,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
         "path cost from the shared link-quality estimator; --no-etx falls "
         "back to nearest-neighbour adoption and unbiased rotation",
     )
+    faults.add_argument(
+        "--root-kill", type=int, default=None, metavar="ROUND",
+        help="kill the sink at this round: a successor is elected among its "
+        "live children, the tree re-roots, and the root state hands over",
+    )
+    faults.add_argument(
+        "--root-grace", type=int, default=1, metavar="N",
+        help="rounds a transiently-down root is waited out (served "
+        "degraded) before fail-over elects a successor",
+    )
     faults.add_argument("--nodes", type=int, default=100)
     faults.add_argument("--rounds", type=int, default=60)
     faults.add_argument("--range", type=float, default=35.0, dest="radio_range")
@@ -444,6 +454,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             repair_metric="etx" if args.etx else "nearest",
             rotate_every=args.rotate,
             heal_patience=args.heal_patience,
+            root_kill=args.root_kill,
+            root_grace=args.root_grace,
         )
         loss_kind = (
             f"Gilbert-Elliott bursts (mean length {args.burst:g})"
@@ -461,6 +473,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.heal_patience > 1
             else ""
         )
+        if args.root_kill is not None:
+            heal_kind += (
+                f", root killed @{args.root_kill} "
+                f"(grace {args.root_grace})"
+            )
         print(
             format_fault_table(
                 result,

@@ -320,6 +320,42 @@ class ContinuousQuantileAlgorithm(ABC):
         self._detached_vertices.discard(vertex)
         self._hints_stale = True
 
+    def handover(self, net: TreeNetwork, old_root: int, new_root: int) -> int:
+        """Migrate the root-side query state onto a successor sink (fail-over).
+
+        Called by the fail-over controller *before* the tree is re-rooted.
+        ``new_root`` is the sensor promoted to sink: its own measurement
+        leaves the query exactly like a :meth:`detach` (overrides patch
+        their counters through that same path), but it is then removed from
+        the detached set again — once the tree is re-rooted the successor
+        is excluded structurally, like any sink.  ``old_root`` becomes a
+        permanently detached ex-vertex: it never contributed a value, so no
+        counters move for it.  The net population therefore shrinks by
+        exactly one (the successor's value), and hints go stale — a
+        membership change without a value transition, so refinement falls
+        back to universe bounds for one round (see
+        :meth:`consume_stale_hints`).
+
+        Returns the size [bits] of the root-side state the successor must
+        be seeded with (see :meth:`handover_state_bits`); the fail-over
+        controller charges one broadcast of this size under the
+        ``failover`` ledger phase.
+        """
+        self.detach(net, new_root)
+        self._detached_vertices.discard(new_root)
+        self._detached_vertices.add(old_root)
+        return self.handover_state_bits()
+
+    def handover_state_bits(self) -> int:
+        """Serialized size [bits] of the state a successor sink inherits.
+
+        The base family's root state is the filter value and the three rank
+        counters ``(l, e, g)``.  Algorithms carrying more root-side state
+        (interval filters, ξ history, sketches, window cells) override this
+        and add their share on top of ``super().handover_state_bits()``.
+        """
+        return 4 * VALUE_BITS
+
     def reset_participation(
         self, net: TreeNetwork, detached: "set[int] | frozenset[int]" = frozenset()
     ) -> None:

@@ -344,6 +344,11 @@ class HBC(ContinuousQuantileAlgorithm):
         shift_counter(self._counters, label, 1)
         self._state[vertex] = label
 
+    def handover_state_bits(self) -> int:
+        # Interval filter: one extra bound on top of the base family's
+        # single filter value.
+        return super().handover_state_bits() + VALUE_BITS
+
     # -- node-side helpers ----------------------------------------------------
 
     def _collect_histogram(

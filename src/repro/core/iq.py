@@ -367,6 +367,14 @@ class IQ(ContinuousQuantileAlgorithm):
         shift_counter(self._counters, label, 1)
         self._state[vertex] = label
 
+    def handover_state_bits(self) -> int:
+        # The successor must continue the Ξ band exactly, so the whole
+        # quantile history window rides along with the base state.
+        bits = super().handover_state_bits()
+        if self._tracker is not None:
+            bits += self._tracker.history_length * VALUE_BITS
+        return bits
+
     # -- helpers --------------------------------------------------------------
 
     def _broadcast_filter(self, quantile: int, refined: bool) -> RoundOutcome:

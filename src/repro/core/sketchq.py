@@ -253,6 +253,11 @@ class SketchQuantile(ContinuousQuantileAlgorithm):
             self._le_bounds = (self._le_bounds[0] + 1, self._le_bounds[1] + 1)
         self._state[vertex] = label
 
+    def handover_state_bits(self) -> int:
+        # The base's (l, e, g) slot carries the l-bounds; the le-bounds
+        # interval is the extra root-side state the successor inherits.
+        return super().handover_state_bits() + 2 * VALUE_BITS
+
     def _transition_contributions(
         self, old_state: np.ndarray, new_state: np.ndarray
     ) -> dict[int, ValidationPayload]:

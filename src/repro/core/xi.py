@@ -78,6 +78,11 @@ class XiTracker:
         """The most recent quantile the tracker has seen."""
         return self._history[-1]
 
+    @property
+    def history_length(self) -> int:
+        """Number of quantiles currently in the window (<= ``window``)."""
+        return len(self._history)
+
     def observe(self, quantile: int) -> None:
         """Record the round's quantile (broadcast, or implicitly unchanged)."""
         self._history.append(quantile)

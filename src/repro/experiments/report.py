@@ -73,7 +73,9 @@ def format_fault_table(
         f"{'algorithm':10s} {'loss':>6s} {'retry':>6s} {'exact':>7s} "
         f"{'rank-err':>9s} {'val-err':>8s} {'reinit':>7s} {'reatt':>6s} "
         f"{'degr':>5s} {'heal':>5s} {'park':>5s} "
+        f"{'fovr':>5s} "
         f"{'fail':>6s} {'cover':>6s} {'hotE [mJ]':>10s} {'repE [mJ]':>10s} "
+        f"{'hoE [mJ]':>9s} "
         f"{'lost':>6s} {'retx':>6s} {'alive':>6s}"
     )
     algorithms = list(dict.fromkeys(p.algorithm for p in result.points))
@@ -86,8 +88,10 @@ def format_fault_table(
                 f"{p.reattach_count:6d} "
                 f"{p.degraded_rounds:5d} {p.healed_partitions:5d} "
                 f"{p.parked_orphan_rounds:5d} "
+                f"{p.failovers:5d} "
                 f"{p.failure_rate:6.2f} {p.delivered_fraction:6.2f} "
                 f"{p.hotspot_energy_mj:10.4f} {p.repair_energy_mj:10.4f} "
+                f"{p.failover_energy_mj:9.4f} "
                 f"{p.lost_transmissions:6d} "
                 f"{p.retransmissions:6d} {p.survivors:6d}"
             )

@@ -9,8 +9,11 @@ re-initializations.  :class:`TreeRepair` reacts *before* the watchdog has
 to: orphaned subtrees re-attach to in-range neighbours and transient
 leavers are detached from / rejoined to the query with their filters
 intact, while :class:`AdaptiveArqPolicy` tunes each link's retry budget to
-its observed loss.  ``run_fault_experiment`` sweeps all of it (the
-:class:`FaultDriver` round loop is steppable by tests); the old
+its observed loss.  Even the sink may fail: :class:`RootFailover` elects a
+successor among the live root children, migrates the root-side query
+state in one charged flood, and re-roots the tree in place (the plan no
+longer special-cases the root).  ``run_fault_experiment`` sweeps all of
+it (the :class:`FaultDriver` round loop is steppable by tests); the old
 ``extensions.loss`` API remains as a thin view.
 """
 
@@ -32,8 +35,10 @@ from repro.faults.network import (
     FaultyTreeNetwork,
     LossyTreeNetwork,
 )
+from repro.faults.failover import FailoverEvent, RootFailover
 from repro.faults.plan import (
     ChurnModel,
+    CompositeChurn,
     FaultPlan,
     GilbertElliottLoss,
     IndependentLoss,
@@ -51,6 +56,8 @@ __all__ = [
     "AdaptiveArqPolicy",
     "ArqPolicy",
     "ChurnModel",
+    "CompositeChurn",
+    "FailoverEvent",
     "FaultDriver",
     "FaultExperimentResult",
     "FaultPlan",
@@ -66,6 +73,7 @@ __all__ = [
     "RandomChurn",
     "RandomOutages",
     "RepairRound",
+    "RootFailover",
     "RepairStats",
     "RootWatchdog",
     "RoundReport",

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import VALUE_BITS
 from repro.datasets.synthetic import SyntheticWorkload
 from repro.errors import ConfigurationError, ProtocolError
 from repro.experiments.config import AlgorithmFactory, sketch_algorithms
@@ -47,13 +48,16 @@ from repro.faults.network import (
     ArqPolicy,
     FaultyTreeNetwork,
 )
+from repro.faults.failover import FailoverEvent, RootFailover
 from repro.faults.plan import (
+    CompositeChurn,
     FaultPlan,
     GilbertElliottLoss,
     IndependentLoss,
     LinkLossModel,
     RandomChurn,
     RandomOutages,
+    ScheduledChurn,
 )
 from repro.faults.repair import RepairRound, TreeRepair
 from repro.faults.watchdog import RootWatchdog
@@ -141,6 +145,10 @@ class FaultSeriesPoint:
     parked_orphan_rounds: int = 0
     #: Energy [mJ] spent on re-initialization rounds' traffic.
     reinit_energy_mj: float = 0.0
+    #: Root fail-overs executed (successor elected, tree re-rooted).
+    failovers: int = 0
+    #: Energy [mJ] spent on fail-over traffic (election + state hand-over).
+    failover_energy_mj: float = 0.0
 
 
 @dataclass
@@ -194,10 +202,14 @@ class RoundReport:
     #: algorithm did not run and ``answer`` is the last trustworthy answer
     #: the root still holds (stale by construction).
     degraded: bool = False
-    #: Why the round degraded — ``"all-sensors-down"`` (nothing is up) or
+    #: Why the round degraded — ``"all-sensors-down"`` (nothing is up),
     #: ``"no-participants"`` (sensors are up but all detached, e.g. parked
-    #: behind an unhealed partition).  ``None`` on normal rounds.
+    #: behind an unhealed partition), or ``"root-down"`` (the sink is lost
+    #: and no fail-over could run yet: outage grace, or no live successor).
+    #: ``None`` on normal rounds.
     degraded_reason: str | None = None
+    #: The root fail-over executed this round, if any.
+    failover: FailoverEvent | None = None
 
 
 class FaultDriver:
@@ -255,6 +267,8 @@ class FaultDriver:
         heal_patience: int = 1,
         core: str | None = None,
         history=None,
+        root_grace: int = 1,
+        failover_rng: np.random.Generator | None = None,
     ) -> None:
         if rotate_every < 0:
             raise ConfigurationError(
@@ -300,6 +314,23 @@ class FaultDriver:
                 parent_metric=repair_metric,
                 heal_patience=heal_patience,
             )
+        self.failover = RootFailover(
+            self.net,
+            graph,
+            grace=root_grace,
+            rng=(
+                failover_rng
+                if failover_rng is not None
+                else np.random.default_rng(20140324)
+            ),
+        )
+        #: Extra root-side state (beyond the algorithm's own) a successor
+        #: sink must inherit on fail-over.  Each entry is a zero-argument
+        #: callable returning a size in bits; the serving layer registers
+        #: its history summaries and cached multi-query answers here.
+        self.handover_state_providers: list = []
+        if history is not None:
+            self.handover_state_providers.append(self._history_handover_bits)
         self.algorithm = factory(spec)
         self.last_answer: int | None = None
         self.reinits = 0
@@ -326,6 +357,12 @@ class FaultDriver:
             return live
         detached = self.repair.detached
         return tuple(v for v in live if v not in detached)
+
+    def _history_handover_bits(self) -> int:
+        """Serialized size [bits] of the root-side history summaries."""
+        return VALUE_BITS * sum(
+            self.history.size_items(query) for query in self.history.queries()
+        )
 
     # -- fault-aware rotation -------------------------------------------------
 
@@ -398,8 +435,28 @@ class FaultDriver:
         failed = reinitialized = False
         degraded_reason: str | None = None
         repair_record: RepairRound | None = None
+        # Root fail-over runs before the repair pass: repair's reachability
+        # walk assumes a live root, and the old root's orphaned children
+        # are picked up by this same round's ordinary repair.
+        root_down_reason: str | None = None
+        failover_event = self.failover.maybe_failover(
+            round_index,
+            self.algorithm,
+            repair=self.repair,
+            watchdog=self.watchdog,
+            state_providers=self.handover_state_providers,
+        )
+        if failover_event is not None:
+            # The sensor set changed (old sink demoted, successor
+            # promoted) — recompute who is up on the new tree.
+            live = net.live_sensor_nodes()
+        elif self.failover.root_unavailable() is not None:
+            # The sink is lost but no fail-over could run yet (outage
+            # grace, or no live successor): nothing can collect or report
+            # this round.
+            root_down_reason = "root-down"
         try:
-            if self.repair is not None:
+            if self.repair is not None and root_down_reason is None:
                 repair_record = self.repair.repair_round(self.algorithm, values)
                 if repair_record.fallback:
                     # An orphan's heal_patience expired with no parent in
@@ -410,7 +467,13 @@ class FaultDriver:
                     # complaining about — don't also re-initialize on top.
                     self._scheduled_reinit = False
                     self.cancelled_reinits += 1
-            if not self.participating(live):
+            if root_down_reason is not None:
+                # DEGRADED, but the continuous state is *not* stale logic:
+                # the sensors kept their filters, the root its counters —
+                # no re-init is scheduled.  Tracking resumes as soon as
+                # the root recovers or a fail-over lands.
+                degraded_reason = root_down_reason
+            elif not self.participating(live):
                 # DEGRADED: churn detached the last participating sensor
                 # (or everyone is down).  Skip the algorithm — there is no
                 # answerable rank — and re-initialize once someone is back.
@@ -539,6 +602,7 @@ class FaultDriver:
             trustworthy=trustworthy,
             degraded=degraded,
             degraded_reason=degraded_reason,
+            failover=failover_event,
         )
         if self.history is not None:
             self.history.absorb_report(report)
@@ -629,6 +693,8 @@ class FaultDriver:
                 repair_stats.parked_rounds if repair_stats is not None else 0
             ),
             reinit_energy_mj=self.reinit_energy_j * 1e3,
+            failovers=self.failover.count,
+            failover_energy_mj=self.failover.handover_energy_j * 1e3,
         )
 
 
@@ -650,6 +716,8 @@ def run_fault_experiment(
     repair_metric: str = "etx",
     rotate_every: int = 0,
     heal_patience: int = 1,
+    root_kill: int | None = None,
+    root_grace: int = 1,
 ) -> FaultExperimentResult:
     """Sweep every algorithm over loss rates x retry budgets.
 
@@ -668,7 +736,11 @@ def run_fault_experiment(
     rounds (0 = never), seeded per cell like the fault plan;
     ``heal_patience`` is how many consecutive rounds an unattachable orphan
     stays parked (re-probing, duty-cycled) before the re-init fallback
-    fires (1 = the pre-healing same-round fallback).
+    fires (1 = the pre-healing same-round fallback).  ``root_kill``
+    schedules the sink's death at that round on top of whatever random
+    churn runs (RNG-safe: scheduled deaths draw nothing), exercising the
+    fail-over path; ``root_grace`` is how many rounds a transiently-down
+    root is waited out before a successor is elected.
     """
     points: list[FaultSeriesPoint] = []
     retry_axis: tuple[int | str, ...] = ("adp",) if adaptive_arq else retry_budgets
@@ -687,9 +759,14 @@ def run_fault_experiment(
                 fault_rng = np.random.default_rng(
                     (seed, loss_key, retry_key, 7)
                 )
+                churn = RandomChurn(churn_rate) if churn_rate > 0 else None
+                if root_kill is not None:
+                    churn = CompositeChurn(
+                        churn, ScheduledChurn({root_kill: (tree.root,)})
+                    )
                 plan = FaultPlan(
                     loss=_loss_model(loss, burst_length),
-                    churn=RandomChurn(churn_rate) if churn_rate > 0 else None,
+                    churn=churn,
                     outages=(
                         RandomOutages(
                             transient_rate, mean_downtime=transient_downtime
@@ -721,6 +798,10 @@ def run_fault_experiment(
                         (seed, loss_key, retry_key, 11)
                     ),
                     heal_patience=heal_patience,
+                    root_grace=root_grace,
+                    failover_rng=np.random.default_rng(
+                        (seed, loss_key, retry_key, 13)
+                    ),
                 )
                 driver.run(num_rounds)
                 points.append(

@@ -231,9 +231,36 @@ class ScheduledChurn(ChurnModel):
         live: Sequence[int],
         rng: np.random.Generator,
     ) -> Iterable[int]:
-        # Returned verbatim: the plan validates (root!) and drops vertices
-        # that already died.
+        # Returned verbatim: the plan drops vertices that already died.
+        # The current root may be listed — that schedules a root fail-over.
         return self.schedule.get(round_index, ())
+
+
+class CompositeChurn(ChurnModel):
+    """Union of several churn models' death sets, queried in order.
+
+    Lets a deterministic script (e.g. a scheduled root kill) ride on top of
+    a random hazard without touching either model: every part sees the same
+    ``live`` pool and the shared generator, in construction order, so the
+    random parts' draw sequences are unchanged by appending a scheduled
+    part (which draws nothing).
+    """
+
+    def __init__(self, *parts: ChurnModel | None) -> None:
+        self.parts: tuple[ChurnModel, ...] = tuple(
+            part for part in parts if part is not None
+        )
+
+    def deaths(
+        self,
+        round_index: int,
+        live: Sequence[int],
+        rng: np.random.Generator,
+    ) -> Iterable[int]:
+        out: list[int] = []
+        for part in self.parts:
+            out.extend(part.deaths(round_index, live, rng))
+        return out
 
 
 class OutageModel(ABC):
@@ -317,7 +344,9 @@ class ScheduledOutages(OutageModel):
         candidates: Sequence[int],
         rng: np.random.Generator,
     ) -> Iterable[tuple[int, int]]:
-        # Returned verbatim: the plan validates (root, duration, duplicates).
+        # Returned verbatim: the plan validates durations and duplicates.
+        # The current root may be listed — the driver's grace window and
+        # fail-over machinery absorb a down sink.
         return self.schedule.get(round_index, ())
 
 
@@ -405,7 +434,10 @@ class FaultPlan:
         self.churn = churn
         self.outages = outages
         self.rng = rng if rng is not None else np.random.default_rng(seed)
-        #: Permanently dead vertices (never contains a root).
+        #: Permanently dead vertices.  Since root fail-over landed this may
+        #: include the current (or a retired) sink: a dead root is a
+        #: repairable event, not a configuration error — the fault driver
+        #: elects a successor and re-roots the tree.
         self.dead: set[int] = set()
         #: Transiently down vertices -> remaining down rounds (this one
         #: included).  Disjoint from :attr:`dead` by construction.
@@ -447,11 +479,18 @@ class FaultPlan:
     def _churn_deaths(self, tree: RoutingTree, round_index: int) -> frozenset[int]:
         if self.churn is None:
             return frozenset()
+        # The hazard pool handed to random models stays sensors-only: the
+        # *current* sink is mains-powered, so battery churn never samples
+        # it (and the pool follows the current tree, so it tracks re-roots
+        # without perturbing the RNG draw sequence).  Explicit scripts
+        # (ScheduledChurn) may still name the root — root death is a
+        # fail-over event now, not a configuration error.
         live = [v for v in tree.sensor_nodes if v not in self.dead]
         requested = frozenset(self.churn.deaths(round_index, live, self.rng))
-        if tree.root in requested:
-            raise ConfigurationError("the root (sink) cannot die")
-        newly = requested & frozenset(live)
+        eligible = frozenset(live)
+        if tree.root not in self.dead:
+            eligible |= {tree.root}
+        newly = requested & eligible
         self.dead |= newly
         # Death supersedes a pending outage: the vertex stays down forever.
         for vertex in newly:
@@ -461,6 +500,9 @@ class FaultPlan:
     def _begin_outages(self, tree: RoutingTree, round_index: int) -> frozenset[int]:
         if self.outages is None:
             return frozenset()
+        # Like churn: random models only ever sample the sensors of the
+        # current tree, but scripted outages may take the sink down — the
+        # driver rides out its grace window or fails over.
         candidates = [
             v
             for v in tree.sensor_nodes
@@ -469,9 +511,9 @@ class FaultPlan:
         requested = self.outages.outages(round_index, candidates, self.rng)
         started: set[int] = set()
         eligible = frozenset(candidates)
+        if tree.root not in self.dead and tree.root not in self.down:
+            eligible |= {tree.root}
         for vertex, duration in requested:
-            if vertex == tree.root:
-                raise ConfigurationError("the root (sink) cannot go down")
             if duration < 1:
                 raise ConfigurationError(
                     f"outage duration must be >= 1 round, got {duration}"
@@ -481,6 +523,17 @@ class FaultPlan:
             self.down[vertex] = duration
             started.add(vertex)
         return frozenset(started)
+
+    def retire(self, vertex: int) -> None:
+        """Mark ``vertex`` permanently dead outside the churn pipeline.
+
+        Root fail-over retires the deposed sink through this: whether it
+        died outright or merely outlasted the grace window while down, the
+        successor has taken over its state, so the old root never returns
+        to the query (any pending outage is superseded).
+        """
+        self.dead.add(vertex)
+        self.down.pop(vertex, None)
 
     def is_dead(self, vertex: int) -> bool:
         """True when ``vertex`` has permanently failed."""

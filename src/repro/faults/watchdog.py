@@ -99,7 +99,11 @@ class RootWatchdog:
         if record.expected == 0 or not self._baseline_branches:
             return False
         coverage = record.coverage
-        delivered_branches = {self._branch[v] for v in record.delivered}
+        # A contributor the branch map has never seen (adopted into the
+        # tree after the last retarget, or a promoted sink's re-rooted
+        # branch) counts as its own branch instead of KeyError-ing: an
+        # unknown vertex that *delivered* is never evidence of silence.
+        delivered_branches = {self._branch.get(v, v) for v in record.delivered}
         silent_branches = self._baseline_branches - delivered_branches
         suspicious = (
             coverage < self.coverage_drop * self._baseline_coverage
@@ -132,12 +136,21 @@ class RootWatchdog:
         ``members`` narrows the awaited branches to those hosting the given
         vertices (e.g. the reachable live sensors); by default every branch
         of the new tree is awaited.
+
+        The coverage baseline is reset too: it described collections over
+        the *old* topology and membership, and since it only ever ratchets
+        upward during healthy rounds, a shrunken population (repair,
+        rotation, root fail-over) would otherwise be judged forever
+        against a coverage it can no longer reach.  Starting from zero
+        disarms the coverage-drop criterion until the first healthy
+        collection on the new tree re-arms it at an honest level.
         """
         self.tree = tree
         self._branch = self._branch_map(tree)
         if members is None:
             members = tree.sensor_nodes
         self._baseline_branches = frozenset(self._branch[v] for v in members)
+        self._baseline_coverage = 0.0
         self._streak = 0
 
     def adopt(self, record: CollectionRecord) -> None:

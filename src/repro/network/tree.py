@@ -223,6 +223,8 @@ def tree_reparented(
 def tree_multi_reparented(
     tree: RoutingTree,
     moves: "Sequence[tuple[int, int, float]]",
+    *,
+    new_root: int | None = None,
 ) -> RoutingTree:
     """A copy of ``tree`` with many re-parentings applied in one rebuild.
 
@@ -233,17 +235,28 @@ def tree_multi_reparented(
     per adoption — the O(n) rebuild happens once per round, not once per
     orphan.
 
+    ``new_root`` re-roots the result at a different vertex in the same
+    O(n) rebuild (root fail-over: the successor takes over the sink role).
+    With it set, moves may re-parent the *old* root — typically reversing
+    the edges on the successor's path — and the new root's parent entry is
+    forced to ``-1`` after all moves are applied.
+
     Moves are validated jointly: the *final* parent array must still be a
     single tree spanning all vertices, so a combination of individually
     plausible moves that creates a cycle (e.g. two subtrees adopting into
     each other) raises :class:`~repro.errors.TopologyError`.
     """
-    if not moves:
+    if not moves and new_root is None:
         return tree
+    root = tree.root if new_root is None else new_root
+    if not 0 <= root < tree.num_vertices:
+        raise TopologyError(f"new root {root} out of range")
+    if root in tree.relays:
+        raise TopologyError(f"new root {root} is a relay")
     parent = list(tree.parent)
     link = list(tree.link_distance)
     for vertex, new_parent, link_distance in moves:
-        if vertex == tree.root:
+        if vertex == root or (new_root is None and vertex == tree.root):
             raise TopologyError("cannot re-parent the root")
         if not 0 <= new_parent < tree.num_vertices:
             raise TopologyError(f"new parent {new_parent} out of range")
@@ -253,7 +266,9 @@ def tree_multi_reparented(
             )
         parent[vertex] = new_parent
         link[vertex] = float(link_distance)
-    return _tree_from_parent_links(tree.root, parent, link, relays=tree.relays)
+    parent[root] = -1
+    link[root] = 0.0
+    return _tree_from_parent_links(root, parent, link, relays=tree.relays)
 
 
 def vertex_parent_check(vertex: int, parent: int) -> int:

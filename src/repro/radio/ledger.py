@@ -46,6 +46,11 @@ class EnergyLedger:
         self._model = model
         self._radio_range = float(radio_range)
         self.root = root
+        #: Every vertex that has ever held the sink role.  Root fail-over
+        #: promotes a sensor to mains-powered sink mid-run; battery-derived
+        #: metrics must exclude all past sinks or the retired root's huge
+        #: receive totals would masquerade as a sensor hotspot.
+        self._ever_root: set[int] = {root}
         self.num_vertices = num_vertices
 
         self.energy = np.zeros(num_vertices)
@@ -157,12 +162,32 @@ class EnergyLedger:
         np.add.at(self.messages_received, recv_vertices, recv_messages)
         np.add.at(self.bits_received, recv_vertices, recv_bits)
 
+    def reroot(self, new_root: int) -> None:
+        """Move the sink role to ``new_root`` (root fail-over).
+
+        The old root stays excluded from battery metrics forever — its
+        accounted energy was drawn from mains, so counting it as a sensor
+        after retirement would fabricate a hotspot.  The successor's
+        pre-promotion battery history likewise stops counting once it is
+        mains-powered (documented warm-standby model).
+        """
+        if not 0 <= new_root < self.num_vertices:
+            raise EnergyError(
+                f"root {new_root} out of range for {self.num_vertices} vertices"
+            )
+        self.root = new_root
+        self._ever_root.add(new_root)
+
     # -- metrics -------------------------------------------------------------
 
     def sensor_mask(self) -> np.ndarray:
-        """Boolean mask selecting battery-powered vertices (all but root)."""
+        """Boolean mask selecting battery-powered vertices.
+
+        Excludes the current sink and every retired one (see
+        :meth:`reroot`).
+        """
         mask = np.ones(self.num_vertices, dtype=bool)
-        mask[self.root] = False
+        mask[sorted(self._ever_root)] = False
         return mask
 
     def max_sensor_energy(self) -> float:

@@ -622,3 +622,8 @@ class MultiQuerySketch(ContinuousQuantileAlgorithm):
             if target.plan.kind != "phi":
                 target.le_lo, target.le_hi = target.l_lo, target.l_hi
             target.state[vertex] = label
+
+    def handover_state_bits(self) -> int:
+        # Per registered target: the served value plus the four sound rank
+        # bounds the successor continues from.
+        return super().handover_state_bits() + 5 * VALUE_BITS * len(self.targets)

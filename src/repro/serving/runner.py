@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.constants import VALUE_BITS
 from repro.faults.experiment import FaultDriver, RoundReport
 from repro.faults.plan import FaultPlan
 from repro.serving.algorithm import MultiQuerySketch
@@ -118,6 +119,15 @@ class MultiQueryRunner:
         )
         self.rounds: list[ServingRound] = []
         self._cache: dict[str, QueryAnswer] = {}
+        # On root fail-over the successor sink inherits the serving cache
+        # (last good answer + eps per registered query) along with the
+        # algorithm's own state; registering its size makes the hand-over
+        # broadcast pay for it.
+        self.driver.handover_state_providers.append(self._cache_handover_bits)
+
+    def _cache_handover_bits(self) -> int:
+        """Serialized size [bits] of the cached per-query answers."""
+        return 2 * VALUE_BITS * len(self._cache)
 
     # -- registry passthrough -------------------------------------------------
 

@@ -286,12 +286,17 @@ class TreeNetwork:
             self._send_cpb_array = None
             self._send_cpb = model.send_cost_per_bit(self.ledger.radio_range)
 
-    def retarget(self, tree: RoutingTree) -> None:
+    def retarget(self, tree: RoutingTree, *, allow_reroot: bool = False) -> None:
         """Swap in a repaired routing tree over the same vertex set.
 
         Tree repair (``repro.faults.repair``) re-attaches orphaned subtrees
         to new parents; the ledger, phase accounting and collection log all
         carry over because the vertices themselves are unchanged.
+
+        ``allow_reroot`` additionally permits the root to move (root
+        fail-over: a successor takes over the sink role).  The ledger is
+        re-rooted in lockstep so the new sink leaves the battery-derived
+        metrics; moving the root remains an error for ordinary repair.
         """
         if tree.num_vertices != self.tree.num_vertices:
             raise ProtocolError(
@@ -299,9 +304,11 @@ class TreeNetwork:
                 f"-> {tree.num_vertices}"
             )
         if tree.root != self.tree.root:
-            raise ProtocolError(
-                f"retarget moved the root: {self.tree.root} -> {tree.root}"
-            )
+            if not allow_reroot:
+                raise ProtocolError(
+                    f"retarget moved the root: {self.tree.root} -> {tree.root}"
+                )
+            self.ledger.reroot(tree.root)
         if tree.relays != self.tree.relays:
             raise ProtocolError("retarget changed the relay set")
         self.tree = tree

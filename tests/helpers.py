@@ -19,7 +19,14 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.base import ContinuousQuantileAlgorithm
-from repro.faults import ArqPolicy, FaultDriver, FaultPlan, RoundReport
+from repro.faults import (
+    ArqPolicy,
+    CompositeChurn,
+    FaultDriver,
+    FaultPlan,
+    RoundReport,
+    ScheduledChurn,
+)
 from repro.network.topology import PhysicalGraph
 from repro.network.tree import RoutingTree
 from repro.radio.energy import EnergyModel
@@ -95,6 +102,8 @@ def assert_differential_invariant(
     repair_metric: str = "etx",
     heal_patience: int = 1,
     core: str | None = None,
+    root_failover: int | None = None,
+    root_grace: int = 1,
 ) -> dict[str, list[RoundReport]]:
     """Differential invariant: exact algorithms == oracle on trustworthy rounds.
 
@@ -116,16 +125,27 @@ def assert_differential_invariant(
     ``core`` pins the simulation core (``"object"``/``"vector"``) so the
     same invariant can be asserted against either implementation — the
     cross-core fuzz axis in ``tests/test_vectorized.py`` runs both.
+
+    ``root_failover`` schedules the sink's death at that round on top of
+    whatever the plan injects (RNG-safe: scheduled churn draws nothing),
+    so the invariant spans a root fail-over — the elected successor must
+    keep serving oracle-exact answers over the survivor population;
+    ``root_grace`` is forwarded to the driver's fail-over controller.
     """
     workload = SequenceWorkload(rounds)
     reports_by_name: dict[str, list[RoundReport]] = {}
     for name, factory in factories.items():
+        plan = plan_factory()
+        if root_failover is not None:
+            plan.churn = CompositeChurn(
+                plan.churn, ScheduledChurn({root_failover: (tree.root,)})
+            )
         driver = FaultDriver(
             factory,
             spec,
             tree,
             workload,
-            plan_factory(),
+            plan,
             ArqPolicy(max_retries=retries),
             graph=graph,
             repair=True,
@@ -137,6 +157,7 @@ def assert_differential_invariant(
             rotate_rng=np.random.default_rng(rotate_seed),
             heal_patience=heal_patience,
             core=core,
+            root_grace=root_grace,
         )
         reports = driver.run(len(rounds))
         algorithm = driver.algorithm

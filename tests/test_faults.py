@@ -119,10 +119,13 @@ class TestChurnModels:
         assert plan.is_dead(3) and plan.is_dead(5)
         assert not plan.is_dead(4)
 
-    def test_root_death_rejected(self, small_tree):
+    def test_root_death_accepted(self, small_tree):
+        # The sink may die like any vertex since root fail-over landed —
+        # the driver elects a successor instead of refusing the plan.
         plan = FaultPlan(churn=ScheduledChurn({0: (0,)}))
-        with pytest.raises(ConfigurationError):
-            plan.begin_round(small_tree, 0)
+        newly_dead = plan.begin_round(small_tree, 0)
+        assert newly_dead == frozenset({0})
+        assert plan.is_dead(0) and plan.is_down(0)
 
 
 class TestArqPolicy:

@@ -74,11 +74,15 @@ class TestOutagePlans:
         assert plan.newly_recovered == frozenset()
         assert plan.is_down(3)
 
-    def test_root_cannot_go_down(self, small_tree):
+    def test_root_can_go_down(self, small_tree):
+        # A scripted sink outage is a fail-over scenario now, not a
+        # configuration error: the driver rides out the grace window or
+        # elects a successor.
         plan = FaultPlan(outages=ScheduledOutages({1: [(0, 2)]}))
         plan.begin_round(small_tree, 0)
-        with pytest.raises(ConfigurationError):
-            plan.begin_round(small_tree, 1)
+        plan.begin_round(small_tree, 1)
+        assert plan.is_down(0) and not plan.is_dead(0)
+        assert plan.newly_down == frozenset({0})
 
     def test_outage_duration_must_be_positive(self, small_tree):
         plan = FaultPlan(outages=ScheduledOutages({1: [(3, 0)]}))

@@ -714,6 +714,65 @@ class TestFaultyEquivalenceMatrix:
             r.trustworthy for r in per_core["vector"]
         ]
 
+    def test_root_failover_identical_across_cores(self):
+        """A mid-run root kill under loss + ARQ: both cores elect the same
+        successor, charge the same hand-over traffic, and stay in lockstep
+        through the re-rooted tail of the run."""
+
+        def run(core: str):
+            rng = np.random.default_rng(31)
+            n = 30
+            positions = rng.uniform(0, 28, size=(n, 2))
+            positions[0] = (14.0, 14.0)
+            graph = build_physical_graph(positions, RADIO_RANGE)
+            prng = np.random.default_rng(9)
+            parents = [-1] + [int(prng.integers(0, v)) for v in range(1, n)]
+            tree = tree_from_parents(0, parents, positions)
+            vrng = np.random.default_rng(13)
+            rounds = [vrng.integers(0, 100, size=n) for _ in range(10)]
+            plan = FaultPlan(
+                loss=IndependentLoss(0.08),
+                churn=ScheduledChurn({4: (0,)}),
+                outages=RandomOutages(0.05),
+                rng=np.random.default_rng(77),
+            )
+            driver = FaultDriver(
+                default_algorithms()["POS"],
+                QuerySpec(r_min=0, r_max=99),
+                tree,
+                SequenceWorkload(rounds),
+                plan,
+                ArqPolicy(max_retries=2),
+                graph=graph,
+                repair=True,
+                radio_range=RADIO_RANGE,
+                failover_rng=np.random.default_rng(19),
+                core=core,
+            )
+            reports = driver.run(len(rounds))
+            return reports, driver
+
+        reports_o, driver_o = run("object")
+        reports_v, driver_v = run("vector")
+        assert driver_o.failover.events == driver_v.failover.events
+        assert driver_o.failover.count == 1
+        assert driver_o.net.tree.root == driver_v.net.tree.root != 0
+        assert [r.answer for r in reports_o] == [r.answer for r in reports_v]
+        assert [r.trustworthy for r in reports_o] == [
+            r.trustworthy for r in reports_v
+        ]
+        assert [sorted(r.participating) for r in reports_o] == [
+            sorted(r.participating) for r in reports_v
+        ]
+        assert_ledgers_identical(driver_o.ledger, driver_v.ledger)
+        TestFaultyEquivalence.assert_fault_counters_equal(
+            driver_o.net, driver_v.net
+        )
+        assert states_equal(
+            driver_o.net.plan.rng.bit_generator.state,
+            driver_v.net.plan.rng.bit_generator.state,
+        )
+
 
 class TestCoreSelection:
     def test_default_is_vector(self):
